@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablation: the paper's §1 argument that *input similarity* is a poor
+ * reuse predictor — "small changes in an input that is multiplied by a
+ * large weight will introduce a significant change in the output" — so
+ * the predictor must look at inputs *and* weights, which the BNN does.
+ *
+ * We implement the strawman (reuse a gate's cached outputs when the
+ * gate's input vector changed by less than theta in mean relative
+ * terms) and compare loss at matched reuse levels against the BNN
+ * predictor and the Oracle.
+ */
+
+#include "common/bench_common.hh"
+
+#include <cmath>
+
+#include "common/report.hh"
+#include "metrics/bleu.hh"
+#include "metrics/edit_distance.hh"
+
+using namespace nlfm;
+
+namespace
+{
+
+/**
+ * Strawman evaluator: per gate instance, cache the previous input
+ * vector and per-neuron outputs; reuse the whole gate when the mean
+ * relative input change is below theta.
+ */
+class InputSimilarityEvaluator : public nn::GateEvaluator
+{
+  public:
+    InputSimilarityEvaluator(const nn::RnnNetwork &network, double theta)
+        : theta_(theta), prevInput_(network.gateInstances().size()),
+          cachedOutput_(network.gateInstances().size()),
+          valid_(network.gateInstances().size(), 0)
+    {
+    }
+
+    void
+    beginSequence() override
+    {
+        std::fill(valid_.begin(), valid_.end(), 0);
+    }
+
+    void
+    evaluateGate(const nn::GateInstance &instance,
+                 const nn::GateParams &params, std::span<const float> x,
+                 std::span<const float> h, std::span<float> preact)
+        override
+    {
+        auto &prev = prevInput_[instance.instanceId];
+        auto &cache = cachedOutput_[instance.instanceId];
+        std::vector<float> concat(x.begin(), x.end());
+        concat.insert(concat.end(), h.begin(), h.end());
+
+        bool reuse = false;
+        if (valid_[instance.instanceId]) {
+            double total = 0.0;
+            for (std::size_t i = 0; i < concat.size(); ++i) {
+                const double denom =
+                    std::max(1e-6, std::fabs(double(prev[i])));
+                total += std::fabs(concat[i] - prev[i]) / denom;
+            }
+            reuse = total / static_cast<double>(concat.size()) <= theta_;
+        }
+
+        totalSlots_ += instance.neurons;
+        if (reuse) {
+            std::copy(cache.begin(), cache.end(), preact.begin());
+            reusedSlots_ += instance.neurons;
+            return;
+        }
+        for (std::size_t n = 0; n < instance.neurons; ++n)
+            preact[n] = nn::evaluateNeuron(params, n, x, h);
+        cache.assign(preact.begin(), preact.end());
+        prev = std::move(concat);
+        valid_[instance.instanceId] = 1;
+    }
+
+    double
+    reuseFraction() const
+    {
+        return totalSlots_ ? static_cast<double>(reusedSlots_) /
+                                 static_cast<double>(totalSlots_)
+                           : 0.0;
+    }
+
+  private:
+    double theta_;
+    std::vector<std::vector<float>> prevInput_;
+    std::vector<std::vector<float>> cachedOutput_;
+    std::vector<std::uint8_t> valid_;
+    std::uint64_t totalSlots_ = 0;
+    std::uint64_t reusedSlots_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv,
+        "Ablation — input-similarity strawman vs BNN vs Oracle");
+    if (options.networks.size() == 4)
+        options.networks = {"EESEN"};
+    bench::printBanner("Ablation: predictor quality", options);
+
+    bench::WorkloadSet set(options);
+    for (const auto &name : set.names()) {
+        auto &workload = set.get(name);
+        auto &evaluator = set.evaluator(name);
+        const auto thetas =
+            bench::thetaGrid(workload.spec, options.thetaPoints);
+
+        TablePrinter table(name + " — loss at swept thresholds "
+                                  "(compare losses at matched reuse)");
+        table.setHeader({"theta", "input-sim_reuse_%", "input-sim_loss_%",
+                         "bnn_reuse_%", "bnn_loss_%", "oracle_reuse_%",
+                         "oracle_loss_%"});
+
+        const auto bnn =
+            bench::runSweep(evaluator, memo::PredictorKind::Bnn, true,
+                            workloads::Split::Test, thetas);
+        const auto oracle =
+            bench::runSweep(evaluator, memo::PredictorKind::Oracle,
+                            false, workloads::Split::Test, thetas);
+
+        const auto &reference =
+            evaluator.baselineDecodes(workloads::Split::Test);
+        for (std::size_t i = 0; i < thetas.size(); ++i) {
+            InputSimilarityEvaluator strawman(*workload.network,
+                                              thetas[i]);
+            const auto decodes =
+                evaluator.decode(workloads::Split::Test, strawman);
+            // Score via the same machinery the evaluator uses: build a
+            // one-off run through WorkloadEvaluator's loss by reusing
+            // its baseline decodes.
+            double loss;
+            {
+                // Piggyback on the evaluator's scoring by comparing
+                // token streams with the task's metric.
+                using workloads::TaskKind;
+                switch (workload.spec.task) {
+                  case TaskKind::SpeechWer:
+                    loss = 100.0 * metrics::corpusWordErrorRate(
+                                       reference, decodes);
+                    break;
+                  case TaskKind::TranslationBleu:
+                    loss = 100.0 -
+                           metrics::corpusBleu(reference, decodes);
+                    break;
+                  case TaskKind::SentimentAccuracy: {
+                    std::size_t flips = 0;
+                    for (std::size_t s = 0; s < reference.size(); ++s)
+                        flips += reference[s] != decodes[s] ? 1 : 0;
+                    loss = 100.0 * static_cast<double>(flips) /
+                           static_cast<double>(reference.size());
+                    break;
+                  }
+                  default:
+                    loss = 0.0;
+                }
+            }
+            table.addRow({formatDouble(thetas[i], 3),
+                          bench::pct(strawman.reuseFraction()),
+                          formatDouble(loss, 2),
+                          bench::pct(bnn[i].reuse),
+                          formatDouble(bnn[i].accuracyLoss, 2),
+                          bench::pct(oracle[i].reuse),
+                          formatDouble(oracle[i].accuracyLoss, 2)});
+        }
+        table.print("ablation_predictor_" + name);
+    }
+
+    std::printf("expected: at matched reuse the input-similarity "
+                "strawman loses noticeably more accuracy than the BNN "
+                "(it is blind to the weights).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 7: binarized vs full-precision neuron outputs for EESEN.
+ *
+ * Paper anchor: the pooled outputs exhibit a strong linear correlation,
+ * R = 0.96 (ranges differ by orders of magnitude, which is fine — the
+ * predictor only needs correlation).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv,
+        "Fig. 7 — BNN vs full-precision output correlation (scatter)");
+    // Fig. 7 is EESEN-specific unless the user overrides.
+    if (options.networks.size() == 4)
+        options.networks = {"EESEN"};
+    bench::printBanner("Figure 7: BNN/RNN output correlation", options);
+
+    bench::WorkloadSet set(options);
+    for (const auto &name : set.names()) {
+        auto &workload = set.get(name);
+        memo::ProbeOptions probe_options;
+        probe_options.maxScatterSamples = 4000;
+        memo::CorrelationProbe probe(*workload.network,
+                                     workload.bnn.get(), probe_options);
+        for (const auto &sequence : workload.testInputs)
+            workload.network->forward(sequence, probe);
+
+        std::printf("%s pooled correlation factor R = %.3f over %zu "
+                    "sampled pairs\n",
+                    name.c_str(), probe.overallCorrelation(),
+                    probe.scatter().size());
+
+        TablePrinter scatter(name +
+                             " — scatter sample (full-precision vs "
+                             "binarized output)");
+        scatter.setHeader({"full_precision", "binarized"});
+        const auto &samples = probe.scatter();
+        const std::size_t stride =
+            std::max<std::size_t>(1, samples.size() / 48);
+        for (std::size_t i = 0; i < samples.size(); i += stride) {
+            scatter.addRow({formatDouble(samples[i].first, 3),
+                            std::to_string(samples[i].second)});
+        }
+        scatter.print("fig07_" + name);
+    }
+
+    std::printf("paper reference: EESEN pooled correlation R = 0.96.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 16: computation reuse versus accuracy loss with the Oracle and
+ * the BNN predictors, per network.
+ *
+ * Paper anchors: for accuracy losses below ~2 % the BNN's reuse is
+ * extremely similar to the Oracle's; EESEN/IMDB reach up to ~40 % reuse
+ * below 3 % loss; DeepSpeech reaches ~20 % below 2 %; the MNMT BNN
+ * tracks the oracle only up to ~23 % reuse (weakest correlation).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv,
+        "Fig. 16 — reuse vs accuracy loss, Oracle and BNN predictors");
+    bench::printBanner("Figure 16: reuse vs accuracy loss", options);
+
+    bench::WorkloadSet set(options);
+    for (const auto &name : set.names()) {
+        auto &evaluator = set.evaluator(name);
+        const auto &spec = set.get(name).spec;
+        const auto thetas = bench::thetaGrid(spec, options.thetaPoints);
+
+        TablePrinter table(name + " (loss metric: " +
+                           spec.paperAccuracyMetric + " drift)");
+        table.setHeader({"theta", "oracle_reuse_%", "oracle_loss_%",
+                         "bnn_reuse_%", "bnn_loss_%"});
+
+        const auto oracle =
+            bench::runSweep(evaluator, memo::PredictorKind::Oracle,
+                            /*throttle=*/false, workloads::Split::Test,
+                            thetas);
+        const auto bnn =
+            bench::runSweep(evaluator, memo::PredictorKind::Bnn,
+                            /*throttle=*/true, workloads::Split::Test,
+                            thetas);
+
+        for (std::size_t i = 0; i < thetas.size(); ++i) {
+            table.addRow({formatDouble(thetas[i], 3),
+                          bench::pct(oracle[i].reuse),
+                          formatDouble(oracle[i].accuracyLoss, 2),
+                          bench::pct(bnn[i].reuse),
+                          formatDouble(bnn[i].accuracyLoss, 2)});
+        }
+        table.print("fig16_" + name);
+    }
+
+    std::printf("paper reference: BNN tracks the Oracle closely below "
+                "~2%% loss on EESEN/IMDB/DeepSpeech; MNMT diverges "
+                "earliest (lowest BNN/RNN correlation).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 17: energy savings and computation reuse of E-PUR+BM over
+ * E-PUR for accuracy-loss budgets of 1 %, 2 % and 3 %.
+ *
+ * Paper anchors: 18.5 % average energy savings at 1 % loss (reuse
+ * 24.2 %), 25.5 % average savings at 2 % (reuse 31 %); EESEN and IMDB
+ * save the most, DeepSpeech and MNMT the least (EESEN 25.32 % and
+ * DeepSpeech 12.23 % at 1 %; MNMT 15.17 % / 23.46 % at 1 % / 2 %).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv, "Fig. 17 — energy savings & reuse at 1/2/3% loss");
+    bench::printBanner("Figure 17: energy savings and reuse", options);
+
+    bench::WorkloadSet set(options);
+    TablePrinter table("E-PUR+BM vs E-PUR (* = loss target not "
+                       "reachable; min-loss fallback)");
+    table.setHeader({"network", "target_loss_%", "tuned_theta",
+                     "test_loss_%", "reuse_%", "energy_savings_%"});
+
+    std::map<double, std::pair<double, double>> averages; // target ->
+                                                          // (reuse, sav)
+    for (const auto &name : set.names()) {
+        for (double target : {1.0, 2.0, 3.0}) {
+            const auto run = bench::runAtTarget(set, name, target,
+                                                options.thetaPoints);
+            const double savings =
+                epur::Simulator::energySavings(run.baseline,
+                                               run.memoized);
+            averages[target].first += run.test.reuse;
+            averages[target].second += savings;
+            table.addRow(
+                {name,
+                 formatDouble(target, 0) +
+                     (run.tuned.metTarget ? "" : "*"),
+                 formatDouble(run.tuned.theta, 3),
+                 formatDouble(run.test.lossPercent, 2),
+                 bench::pct(run.test.reuse), bench::pct(savings)});
+        }
+    }
+    const auto n = static_cast<double>(set.names().size());
+    for (const auto &[target, sums] : averages) {
+        table.addRow({"average", formatDouble(target, 0), "-", "-",
+                      bench::pct(sums.first / n),
+                      bench::pct(sums.second / n)});
+    }
+    table.print("fig17");
+
+    std::printf("paper reference: avg 18.5%% savings / 24.2%% reuse at "
+                "1%% loss; 25.5%% savings / 31%% reuse at 2%%.\n");
+    return 0;
+}

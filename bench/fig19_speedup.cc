@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 19: speedup of E-PUR+BM over E-PUR at accuracy-loss budgets of
+ * 1 %, 2 % and 3 %.
+ *
+ * Paper anchors: 1.35x average speedup at 1 % loss, 1.5x at 2 %, 1.67x
+ * at 3 %; EESEN ~1.55x at 2 %; low-reuse configurations (DeepSpeech at
+ * 1 %) show the smallest speedups because of the 5-cycle FMU probe.
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv, "Fig. 19 — speedup at 1/2/3% accuracy loss");
+    bench::printBanner("Figure 19: speedup over E-PUR", options);
+
+    bench::WorkloadSet set(options);
+    TablePrinter table("Speedup of E-PUR+BM over E-PUR (* = loss target "
+                       "not reachable; min-loss fallback)");
+    table.setHeader({"network", "target_loss_%", "reuse_%", "speedup_x"});
+
+    std::map<double, double> average;
+    for (const auto &name : set.names()) {
+        for (double target : {1.0, 2.0, 3.0}) {
+            const auto run = bench::runAtTarget(set, name, target,
+                                                options.thetaPoints);
+            const double speedup =
+                epur::Simulator::speedup(run.baseline, run.memoized);
+            average[target] += speedup;
+            table.addRow({name,
+                          formatDouble(target, 0) +
+                              (run.tuned.metTarget ? "" : "*"),
+                          bench::pct(run.test.reuse),
+                          formatDouble(speedup, 3)});
+        }
+    }
+    const auto n = static_cast<double>(set.names().size());
+    for (const auto &[target, total] : average) {
+        table.addRow({"average", formatDouble(target, 0), "-",
+                      formatDouble(total / n, 3)});
+    }
+    table.print("fig19");
+
+    std::printf("paper reference: average speedups 1.35x / 1.5x / 1.67x "
+                "at 1%% / 2%% / 3%% loss.\n");
+    return 0;
+}

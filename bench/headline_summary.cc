@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's §5/abstract headline at 1 % accuracy loss: average
+ * computation reuse, energy savings, and speedup across the four
+ * networks, plus the area overhead.
+ *
+ * Paper anchors: >24.2 % computations avoided, 18.5 % energy savings,
+ * 1.35x speedup; 64.6 mm² -> 66.8 mm² (~4 % area overhead).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv, "Headline summary — reuse/energy/speedup at 1% loss");
+    bench::printBanner("Headline summary (1% accuracy loss)", options);
+
+    bench::WorkloadSet set(options);
+    TablePrinter table("Per-network results at the 1% loss target "
+                       "(* = target not reachable; min-loss fallback)");
+    table.setHeader({"network", "reuse_%", "energy_savings_%",
+                     "speedup_x", "test_loss_%"});
+
+    double reuse = 0, savings = 0, speedup = 0;
+    for (const auto &name : set.names()) {
+        const auto run =
+            bench::runAtTarget(set, name, 1.0, options.thetaPoints);
+        const double s =
+            epur::Simulator::energySavings(run.baseline, run.memoized);
+        const double x =
+            epur::Simulator::speedup(run.baseline, run.memoized);
+        reuse += run.test.reuse;
+        savings += s;
+        speedup += x;
+        table.addRow({name + (run.tuned.metTarget ? "" : "*"),
+                      bench::pct(run.test.reuse), bench::pct(s),
+                      formatDouble(x, 3),
+                      formatDouble(run.test.lossPercent, 2)});
+    }
+    const auto n = static_cast<double>(set.names().size());
+    table.addRow({"average", bench::pct(reuse / n),
+                  bench::pct(savings / n), formatDouble(speedup / n, 3),
+                  "-"});
+    table.print("headline");
+
+    const epur::AreaModel area{epur::EpurConfig{}};
+    std::printf("area: E-PUR %.1f mm2, E-PUR+BM %.1f mm2 (%.1f%% "
+                "overhead, %.1f points from scratch-pad)\n",
+                area.baselineArea(), area.memoizedArea(),
+                100.0 * area.overheadFraction(),
+                100.0 * area.scratchpadOverheadFraction());
+    std::printf("paper reference: >24.2%% reuse, 18.5%% energy savings, "
+                "1.35x speedup on average at 1%% loss; 64.6 -> 66.8 mm2 "
+                "(~4%% area).\n");
+    return 0;
+}

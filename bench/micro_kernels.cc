@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microkernels backing the paper's cost claims:
+ * the BNN dot product is orders of magnitude cheaper than the FP dot
+ * product (§3.1.2), packed XNOR/popcount crushes the naive ±1 loop, and
+ * the per-gate memoization probe adds little on top of a cell step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "memo/memo_engine.hh"
+#include "metrics/edit_distance.hh"
+#include "nn/init.hh"
+#include "tensor/bitpack.hh"
+#include "tensor/vector_ops.hh"
+
+using namespace nlfm;
+
+namespace
+{
+
+std::vector<float>
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> out(n);
+    rng.fillNormal(out, 0.0, 1.0);
+    return out;
+}
+
+void
+BM_FpDot(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomVector(n, 1);
+    const auto b = randomVector(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::dot(a, b));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FpDot)->Arg(256)->Arg(640)->Arg(2048);
+
+void
+BM_BnnDotPacked(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = tensor::BitVector::fromFloats(randomVector(n, 3));
+    const auto b = tensor::BitVector::fromFloats(randomVector(n, 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::bnnDot(a, b));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BnnDotPacked)->Arg(256)->Arg(640)->Arg(2048);
+
+void
+BM_BnnDotNaive(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomVector(n, 5);
+    const auto b = randomVector(n, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::bnnDotNaive(a, b));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BnnDotNaive)->Arg(640);
+
+void
+BM_InputBinarization(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomVector(n / 2, 7);
+    const auto h = randomVector(n - n / 2, 8);
+    tensor::BitVector bits(n);
+    for (auto _ : state) {
+        bits.assignConcat(x, h);
+        benchmark::DoNotOptimize(bits);
+    }
+}
+BENCHMARK(BM_InputBinarization)->Arg(640)->Arg(2048);
+
+struct CellFixture
+{
+    nn::RnnConfig config;
+    std::unique_ptr<nn::RnnNetwork> network;
+    std::unique_ptr<nn::BinarizedNetwork> bnn;
+    nn::Sequence inputs;
+
+    explicit CellFixture(std::size_t hidden)
+    {
+        config.cellType = nn::CellType::Lstm;
+        config.inputSize = hidden;
+        config.hiddenSize = hidden;
+        config.layers = 1;
+        config.peepholes = true;
+        network = std::make_unique<nn::RnnNetwork>(config);
+        Rng rng(11);
+        nn::initNetwork(*network, rng);
+        bnn = std::make_unique<nn::BinarizedNetwork>(*network);
+        inputs.assign(4, std::vector<float>(hidden));
+        for (auto &frame : inputs)
+            rng.fillNormal(frame, 0.0, 1.0);
+    }
+};
+
+void
+BM_LstmCellSequence(benchmark::State &state)
+{
+    CellFixture fixture(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fixture.network->forwardBaseline(fixture.inputs));
+    }
+}
+BENCHMARK(BM_LstmCellSequence)->Arg(128)->Arg(320);
+
+void
+BM_MemoizedSequence(benchmark::State &state)
+{
+    CellFixture fixture(static_cast<std::size_t>(state.range(0)));
+    memo::MemoOptions options;
+    options.theta = 0.3;
+    memo::MemoEngine engine(*fixture.network, fixture.bnn.get(),
+                            options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fixture.network->forward(fixture.inputs, engine));
+    }
+}
+BENCHMARK(BM_MemoizedSequence)->Arg(128)->Arg(320);
+
+void
+BM_EditDistance(benchmark::State &state)
+{
+    Rng rng(13);
+    metrics::TokenSeq a(200), b(200);
+    for (auto &t : a)
+        t = static_cast<std::int32_t>(rng.uniformInt(30));
+    for (auto &t : b)
+        t = static_cast<std::int32_t>(rng.uniformInt(30));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(metrics::editDistance(a, b));
+}
+BENCHMARK(BM_EditDistance);
+
+} // namespace

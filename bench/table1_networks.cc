@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1: the network zoo — application domain, cell type, layers,
+ * neurons, paper-reported base accuracy, and computation reuse at 1 %
+ * accuracy loss (paper column vs our measured value).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv, "Table 1 — network zoo and reuse at 1% loss");
+    bench::printBanner("Table 1: RNN networks", options);
+
+    bench::WorkloadSet set(options);
+    TablePrinter table("Table 1 (measured reuse: BNN predictor tuned "
+                       "for 1% loss on the tune split, reported on the "
+                       "test split; * = target not reachable)");
+    table.setHeader({"network", "domain", "cell", "layers", "neurons",
+                     "paper_base_acc", "paper_reuse_%",
+                     "measured_reuse_%", "dataset"});
+
+    for (const auto &name : set.names()) {
+        const auto &spec = set.get(name).spec;
+        const auto run =
+            bench::runAtTarget(set, name, 1.0, options.thetaPoints);
+
+        std::string cell =
+            spec.rnn.cellType == nn::CellType::Lstm ? "LSTM" : "GRU";
+        if (spec.rnn.bidirectional)
+            cell = "Bi" + cell;
+        table.addRow(
+            {name, spec.domain, cell,
+             std::to_string(spec.rnn.layers * spec.rnn.directions()),
+             std::to_string(spec.rnn.hiddenSize),
+             formatDouble(spec.paperBaseAccuracy, 1) + " " +
+                 spec.paperAccuracyMetric,
+             formatDouble(spec.paperReuseAt1pct, 1),
+             bench::pct(run.test.reuse) +
+                 (run.tuned.metTarget ? "" : "*"),
+             spec.dataset});
+    }
+    table.print("table1");
+    return 0;
+}

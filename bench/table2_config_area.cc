@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 2 (configuration parameters) plus the §5 area accounting:
+ * E-PUR 64.6 mm², E-PUR+BM 66.8 mm² (~4 % overhead, ~3 points from the
+ * extra scratch-pad memory).
+ */
+
+#include "common/bench_common.hh"
+
+#include "common/report.hh"
+
+using namespace nlfm;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv, "Table 2 — configuration parameters and area model");
+    bench::printBanner("Table 2: configuration and area", options);
+
+    const epur::EpurConfig config;
+    TablePrinter params("Configuration parameters (paper Table 2)");
+    params.setHeader({"parameter", "value"});
+    params.addRow({"technology", std::to_string(config.technologyNm) +
+                                     " nm"});
+    params.addRow({"frequency",
+                   formatDouble(config.frequencyHz / 1e6, 0) + " MHz"});
+    params.addRow({"voltage", formatDouble(config.voltage, 2) + " V"});
+    params.addRow({"intermediate memory",
+                   std::to_string(config.intermediateMemoryBytes >> 20) +
+                       " MiB"});
+    params.addRow({"weight buffer",
+                   std::to_string(config.weightBufferBytesPerCu >> 20) +
+                       " MiB per CU"});
+    params.addRow({"input buffer",
+                   std::to_string(config.inputBufferBytesPerCu >> 10) +
+                       " KiB per CU"});
+    params.addRow({"DPU width",
+                   std::to_string(config.dpuWidth) + " operations"});
+    params.addRow({"BDPU width",
+                   std::to_string(config.bdpuWidthBits) + " bits"});
+    params.addRow({"FMU latency",
+                   std::to_string(config.fmuLatencyCycles) + " cycles"});
+    params.addRow({"CMP integer width",
+                   std::to_string(config.cmpIntegerBytes) + " bytes"});
+    params.addRow({"memoization buffer",
+                   std::to_string(config.memoBufferBytes >> 10) +
+                       " KiB per CU"});
+    params.addRow({"main memory",
+                   std::to_string(config.dramBytes >> 30) +
+                       " GB LPDDR4"});
+    params.print("table2_config");
+
+    const epur::AreaModel area{config};
+    TablePrinter inventory("Area inventory (28 nm)");
+    inventory.setHeader({"component", "mm2", "design"});
+    for (const auto &component : area.components()) {
+        inventory.addRow({component.name,
+                          formatDouble(component.mm2, 2),
+                          component.memoizationOnly ? "E-PUR+BM only"
+                                                    : "both"});
+    }
+    inventory.addRow({"E-PUR total", formatDouble(area.baselineArea(), 1),
+                      "baseline"});
+    inventory.addRow({"E-PUR+BM total",
+                      formatDouble(area.memoizedArea(), 1), "memoized"});
+    inventory.print("table2_area");
+
+    std::printf("overhead: %.1f%% total, %.1f points in scratch-pad "
+                "(paper: ~4%% / 3%%).\n",
+                100.0 * area.overheadFraction(),
+                100.0 * area.scratchpadOverheadFraction());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accelerator scenario: run a Table-1 network on the E-PUR model with
+ * and without the fuzzy memoization unit and print the cycle counts,
+ * energy breakdown, speedup and area cost — the paper's §5 evaluation
+ * in miniature.
+ */
+
+#include <cstdio>
+
+#include "epur/area_model.hh"
+#include "epur/report.hh"
+#include "epur/simulator.hh"
+#include "workloads/evaluators.hh"
+
+using namespace nlfm;
+
+int
+main()
+{
+    // Downsized EESEN (pass the unmodified spec for the full network).
+    workloads::NetworkSpec spec = workloads::specByName("EESEN");
+    spec.rnn.hiddenSize = 128;
+    spec.rnn.layers = 3;
+    spec.defaultSteps = 50;
+    spec.defaultSequences = 3;
+
+    auto workload = workloads::buildWorkload(spec);
+    workloads::WorkloadEvaluator evaluator(*workload);
+
+    // Memoized run with trace recording.
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = 0.15;
+    options.recordTrace = true;
+    const workloads::EvalRun run =
+        evaluator.evaluateWithTrace(options, workloads::Split::Test);
+
+    // Simulate both designs.
+    const epur::EpurConfig config;
+    const epur::Simulator sim{config, epur::EnergyParams::defaults()};
+    std::vector<std::size_t> steps;
+    for (const auto &sequence : workload->testInputs)
+        steps.push_back(sequence.size());
+    const auto baseline =
+        sim.simulateBaseline(*workload->network, steps);
+    const auto memoized =
+        sim.simulateMemoized(*workload->network, run.traces);
+
+    std::printf("accelerator: %s\n", config.describe().c_str());
+    std::printf("workload   : %s, %zu sequences\n\n",
+                spec.rnn.describe().c_str(), steps.size());
+    std::printf("computation reuse : %.1f%% (WER drift %.2f%%)\n",
+                100.0 * run.result.reuse, run.result.lossPercent);
+    std::printf("E-PUR    : %s\n", epur::summarize(baseline).c_str());
+    std::printf("E-PUR+BM : %s\n", epur::summarize(memoized).c_str());
+    std::printf("speedup  : %.2fx\n",
+                epur::Simulator::speedup(baseline, memoized));
+    std::printf("energy   : %.1f%% saved\n\n",
+                100.0 * epur::Simulator::energySavings(baseline,
+                                                       memoized));
+
+    std::printf("energy breakdown (share of E-PUR total):\n");
+    const double reference = baseline.energy.totalJ();
+    for (const auto &[bucket, joules] :
+         epur::breakdownItems(baseline.energy)) {
+        std::printf("  %-11s E-PUR %5.1f%%\n", bucket.c_str(),
+                    100.0 * joules / reference);
+    }
+    for (const auto &[bucket, joules] :
+         epur::breakdownItems(memoized.energy)) {
+        std::printf("  %-11s E-PUR+BM %5.1f%%\n", bucket.c_str(),
+                    100.0 * joules / reference);
+    }
+
+    const epur::AreaModel area{config};
+    std::printf("\narea: %.1f mm2 -> %.1f mm2 (%.1f%% overhead)\n",
+                area.baselineArea(), area.memoizedArea(),
+                100.0 * area.overheadFraction());
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by the bench/example binaries.
+ *
+ * Supports `--name value`, `--name=value` and boolean `--name` forms,
+ * with typed accessors and an auto-generated `--help` screen.
+ */
+
+#ifndef NLFM_COMMON_CLI_HH
+#define NLFM_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nlfm
+{
+
+/** Declarative command-line option set. */
+class CliParser
+{
+  public:
+    /** @param description one-line program summary for --help. */
+    explicit CliParser(std::string description);
+
+    /** Register a string option with a default. */
+    void addString(const std::string &name, const std::string &default_value,
+                   const std::string &help);
+
+    /** Register an integer option with a default. */
+    void addInt(const std::string &name, std::int64_t default_value,
+                const std::string &help);
+
+    /** Register a floating-point option with a default. */
+    void addDouble(const std::string &name, double default_value,
+                   const std::string &help);
+
+    /** Register a boolean flag (default false unless stated). */
+    void addBool(const std::string &name, bool default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing usage) when --help was
+     * requested; unknown options are fatal.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Print the generated help screen. */
+    void printUsage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Bool };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string description_;
+    std::string program_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_CLI_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Signed fixed-point arithmetic for the FMU comparison unit model.
+ *
+ * The paper's CMP unit computes the relative BNN error and its running
+ * accumulation "using integer and fixed-point arithmetic" (§3.3.2) with
+ * 2-byte integer operands (Table 2). This header provides a Q-format
+ * template used by the BNN predictor so the decision logic sees exactly
+ * the precision the hardware would, and a convenience Q16.16 alias wide
+ * enough for the accumulated delta.
+ */
+
+#ifndef NLFM_COMMON_FIXED_POINT_HH
+#define NLFM_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace nlfm
+{
+
+/**
+ * Signed fixed-point number with @p FracBits fractional bits stored in a
+ * 64-bit integer with saturating conversions.
+ */
+template <int FracBits>
+class Fixed
+{
+    static_assert(FracBits > 0 && FracBits < 62, "unreasonable Q format");
+
+  public:
+    static constexpr std::int64_t one = std::int64_t{1} << FracBits;
+
+    constexpr Fixed() = default;
+
+    /** Quantize a double to the nearest representable value. */
+    static Fixed
+    fromDouble(double value)
+    {
+        const double scaled = value * static_cast<double>(one);
+        constexpr double max_raw =
+            static_cast<double>(std::numeric_limits<std::int64_t>::max());
+        Fixed out;
+        if (scaled >= max_raw) {
+            out.raw_ = std::numeric_limits<std::int64_t>::max();
+        } else if (scaled <= -max_raw) {
+            out.raw_ = std::numeric_limits<std::int64_t>::min();
+        } else {
+            out.raw_ = static_cast<std::int64_t>(
+                scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+        }
+        return out;
+    }
+
+    /** Exact conversion from a small integer. */
+    static Fixed
+    fromInt(std::int64_t value)
+    {
+        Fixed out;
+        out.raw_ = value << FracBits;
+        return out;
+    }
+
+    static Fixed
+    fromRaw(std::int64_t raw)
+    {
+        Fixed out;
+        out.raw_ = raw;
+        return out;
+    }
+
+    std::int64_t raw() const { return raw_; }
+
+    double
+    toDouble() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(one);
+    }
+
+    Fixed
+    operator+(Fixed other) const
+    {
+        return fromRaw(raw_ + other.raw_);
+    }
+
+    Fixed
+    operator-(Fixed other) const
+    {
+        return fromRaw(raw_ - other.raw_);
+    }
+
+    Fixed
+    operator*(Fixed other) const
+    {
+        // 128-bit intermediate to avoid overflow for Q16.16-scale values.
+        const __int128 wide =
+            static_cast<__int128>(raw_) * static_cast<__int128>(other.raw_);
+        return fromRaw(static_cast<std::int64_t>(wide >> FracBits));
+    }
+
+    /** Fixed-point division; @p other must be non-zero. */
+    Fixed
+    operator/(Fixed other) const
+    {
+        nlfm_assert(other.raw_ != 0, "fixed-point division by zero");
+        const __int128 wide = (static_cast<__int128>(raw_) << FracBits);
+        return fromRaw(static_cast<std::int64_t>(wide / other.raw_));
+    }
+
+    Fixed
+    abs() const
+    {
+        return fromRaw(raw_ < 0 ? -raw_ : raw_);
+    }
+
+    bool operator==(Fixed other) const { return raw_ == other.raw_; }
+    bool operator!=(Fixed other) const { return raw_ != other.raw_; }
+    bool operator<(Fixed other) const { return raw_ < other.raw_; }
+    bool operator<=(Fixed other) const { return raw_ <= other.raw_; }
+    bool operator>(Fixed other) const { return raw_ > other.raw_; }
+    bool operator>=(Fixed other) const { return raw_ >= other.raw_; }
+
+  private:
+    std::int64_t raw_ = 0;
+};
+
+/** Q16.16: the format used by the FMU comparison-unit model. */
+using Q16 = Fixed<16>;
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_FIXED_POINT_HH

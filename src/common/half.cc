@@ -1,0 +1,102 @@
+#include "common/half.hh"
+
+#include <cstring>
+
+namespace nlfm
+{
+
+std::uint16_t
+floatToHalfBits(float value)
+{
+    std::uint32_t f;
+    std::memcpy(&f, &value, sizeof(f));
+
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::uint32_t exponent = (f >> 23) & 0xffu;
+    std::uint32_t mantissa = f & 0x7fffffu;
+
+    if (exponent == 0xffu) {
+        // Inf / NaN. Keep a mantissa bit for NaN payloads.
+        const std::uint32_t nan_bit = mantissa ? 0x200u : 0;
+        return static_cast<std::uint16_t>(sign | 0x7c00u | nan_bit |
+                                          (mantissa >> 13));
+    }
+
+    // Re-bias the exponent: float bias 127, half bias 15.
+    const int unbiased = static_cast<int>(exponent) - 127;
+    int half_exp = unbiased + 15;
+
+    if (half_exp >= 0x1f) {
+        // Overflow -> infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    if (half_exp <= 0) {
+        // Denormal or underflow-to-zero.
+        if (half_exp < -10)
+            return static_cast<std::uint16_t>(sign);
+        // Add the implicit leading 1 and shift into denormal position.
+        mantissa |= 0x800000u;
+        const int shift = 14 - half_exp; // in [14, 24]
+        std::uint32_t half_mant = mantissa >> shift;
+        // Round to nearest even.
+        const std::uint32_t rest = mantissa & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rest > halfway || (rest == halfway && (half_mant & 1u)))
+            ++half_mant;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+
+    // Normal number: keep 10 mantissa bits with round-to-nearest-even.
+    std::uint32_t half_mant = mantissa >> 13;
+    const std::uint32_t rest = mantissa & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+        if (half_mant == 0x400u) { // mantissa overflow -> bump exponent
+            half_mant = 0;
+            ++half_exp;
+            if (half_exp >= 0x1f)
+                return static_cast<std::uint16_t>(sign | 0x7c00u);
+        }
+    }
+    return static_cast<std::uint16_t>(
+        sign | (static_cast<std::uint32_t>(half_exp) << 10) | half_mant);
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+                               << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+    std::uint32_t mantissa = bits & 0x3ffu;
+
+    std::uint32_t f;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            f = sign; // signed zero
+        } else {
+            // Denormal: normalize into float format.
+            int e = -1;
+            std::uint32_t m = mantissa;
+            do {
+                ++e;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            const std::uint32_t exp32 =
+                static_cast<std::uint32_t>(127 - 15 - e);
+            f = sign | (exp32 << 23) | ((m & 0x3ffu) << 13);
+        }
+    } else if (exponent == 0x1fu) {
+        f = sign | 0x7f800000u | (mantissa << 13); // Inf / NaN
+    } else {
+        const std::uint32_t exp32 = exponent + (127 - 15);
+        f = sign | (exp32 << 23) | (mantissa << 13);
+    }
+
+    float out;
+    std::memcpy(&out, &f, sizeof(out));
+    return out;
+}
+
+} // namespace nlfm

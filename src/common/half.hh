@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("FP16") support.
+ *
+ * E-PUR computes in 16-bit floating point (paper §3.3.1); the energy and
+ * storage model charges 2 bytes per weight/activation. This type provides
+ * bit-accurate float<->half conversion with round-to-nearest-even so the
+ * functional simulator can optionally quantize values exactly as the
+ * accelerator's datapath would.
+ */
+
+#ifndef NLFM_COMMON_HALF_HH
+#define NLFM_COMMON_HALF_HH
+
+#include <cstdint>
+
+namespace nlfm
+{
+
+/** Convert a float to its IEEE binary16 bit pattern (RNE, with denormals). */
+std::uint16_t floatToHalfBits(float value);
+
+/** Convert an IEEE binary16 bit pattern to float. */
+float halfBitsToFloat(std::uint16_t bits);
+
+/** Round-trip a float through binary16 (the accelerator's precision). */
+inline float
+quantizeToHalf(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+/**
+ * Storage-only half-precision value.
+ *
+ * Arithmetic happens in float; Half models the accelerator's 2-byte
+ * on-chip storage format.
+ */
+class Half
+{
+  public:
+    Half() = default;
+    explicit Half(float value) : bits_(floatToHalfBits(value)) {}
+
+    /** Raw IEEE binary16 bits. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Construct directly from raw bits. */
+    static Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Widen to float. */
+    float toFloat() const { return halfBitsToFloat(bits_); }
+
+    explicit operator float() const { return toFloat(); }
+
+    bool operator==(const Half &other) const { return bits_ == other.bits_; }
+    bool operator!=(const Half &other) const { return bits_ != other.bits_; }
+
+    /** Sign bit, as stored in E-PUR's sign buffer (1 == negative). */
+    bool signBit() const { return (bits_ & 0x8000u) != 0; }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_HALF_HH

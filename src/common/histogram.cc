@@ -1,0 +1,112 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm
+{
+
+Histogram::Histogram(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    nlfm_assert(bins >= 1, "histogram needs at least one bin");
+    nlfm_assert(hi > lo, "histogram range is empty: [", lo, ", ", hi, ")");
+}
+
+void
+Histogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+Histogram::add(double value, std::uint64_t weight)
+{
+    double pos = (value - lo_) / binWidth_;
+    std::size_t index;
+    if (pos < 0.0) {
+        index = 0;
+    } else {
+        index = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+    }
+    counts_[index] += weight;
+    total_ += weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    nlfm_assert(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                    other.hi_ == hi_,
+                "merging incompatible histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+std::uint64_t
+Histogram::count(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    return counts_[index];
+}
+
+double
+Histogram::fraction(std::size_t index) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(index)) / static_cast<double>(total_);
+}
+
+double
+Histogram::binLo(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    return lo_ + binWidth_ * static_cast<double>(index);
+}
+
+double
+Histogram::binHi(std::size_t index) const
+{
+    return binLo(index) + binWidth_;
+}
+
+double
+Histogram::binCenter(std::size_t index) const
+{
+    return binLo(index) + 0.5 * binWidth_;
+}
+
+double
+Histogram::cdf(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i <= index; ++i)
+        below += counts_[i];
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    nlfm_assert(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    if (total_ == 0)
+        return lo_;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        below += counts_[i];
+        if (static_cast<double>(below) >=
+            q * static_cast<double>(total_)) {
+            return binHi(i);
+        }
+    }
+    return hi_;
+}
+
+} // namespace nlfm

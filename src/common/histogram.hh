@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-bin histogram with CDF queries.
+ *
+ * Used for the paper's distribution plots: Fig. 5 (CDF of relative neuron
+ * output change) and Fig. 8 (histogram of per-neuron correlation factors).
+ */
+
+#ifndef NLFM_COMMON_HISTOGRAM_HH
+#define NLFM_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nlfm
+{
+
+/**
+ * Histogram over [lo, hi) with uniform bins; out-of-range samples are
+ * clamped into the first/last bin so mass is never silently dropped.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of bins (>= 1); @param lo/@p hi range. */
+    Histogram(std::size_t bins, double lo, double hi);
+
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add a sample with an integer weight. */
+    void add(double value, std::uint64_t weight);
+
+    /** Merge another histogram with identical binning. */
+    void merge(const Histogram &other);
+
+    std::size_t bins() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Raw count in bin @p index. */
+    std::uint64_t count(std::size_t index) const;
+
+    /** Fraction of mass in bin @p index (0 when empty). */
+    double fraction(std::size_t index) const;
+
+    /** Inclusive lower edge of bin @p index. */
+    double binLo(std::size_t index) const;
+
+    /** Exclusive upper edge of bin @p index. */
+    double binHi(std::size_t index) const;
+
+    /** Midpoint of bin @p index. */
+    double binCenter(std::size_t index) const;
+
+    /**
+     * Empirical CDF evaluated at bin upper edges: fraction of samples whose
+     * bin index is <= @p index.
+     */
+    double cdf(std::size_t index) const;
+
+    /**
+     * Approximate inverse CDF: smallest bin upper edge at which the CDF
+     * reaches @p q (q in [0, 1]).
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_HISTOGRAM_HH

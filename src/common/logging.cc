@@ -1,0 +1,64 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nlfm
+{
+
+namespace
+{
+
+std::atomic<std::size_t> warnCounter{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const std::string &where,
+           const std::string &message)
+{
+    if (level == LogLevel::Warn)
+        warnCounter.fetch_add(1, std::memory_order_relaxed);
+    std::FILE *sink = (level == LogLevel::Inform) ? stdout : stderr;
+    std::fprintf(sink, "[%s] %s (%s)\n", levelName(level), message.c_str(),
+                 where.c_str());
+    std::fflush(sink);
+}
+
+void
+logAndDie(LogLevel level, const std::string &where,
+          const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s (%s)\n", levelName(level), message.c_str(),
+                 where.c_str());
+    std::fflush(stderr);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+std::size_t
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+} // namespace nlfm

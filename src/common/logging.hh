@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Status/error reporting in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  — the simulation cannot continue due to a user-level problem
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   — something is off but execution can continue.
+ * inform() — neutral status messages.
+ */
+
+#ifndef NLFM_COMMON_LOGGING_HH
+#define NLFM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nlfm
+{
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit a formatted log record; Fatal exits, Panic aborts. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &where,
+                            const std::string &message);
+
+void logMessage(LogLevel level, const std::string &where,
+                const std::string &message);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Number of warnings emitted so far (used by tests). */
+std::size_t warnCount();
+
+} // namespace nlfm
+
+#define NLFM_WHERE \
+    (std::string(__FILE__) + ":" + std::to_string(__LINE__))
+
+/** Unrecoverable internal error: abort with a message. */
+#define nlfm_panic(...) \
+    ::nlfm::detail::logAndDie(::nlfm::LogLevel::Panic, NLFM_WHERE, \
+                              ::nlfm::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error: exit(1) with a message. */
+#define nlfm_fatal(...) \
+    ::nlfm::detail::logAndDie(::nlfm::LogLevel::Fatal, NLFM_WHERE, \
+                              ::nlfm::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define nlfm_warn(...) \
+    ::nlfm::detail::logMessage(::nlfm::LogLevel::Warn, NLFM_WHERE, \
+                               ::nlfm::detail::concat(__VA_ARGS__))
+
+/** Neutral status message. */
+#define nlfm_inform(...) \
+    ::nlfm::detail::logMessage(::nlfm::LogLevel::Inform, NLFM_WHERE, \
+                               ::nlfm::detail::concat(__VA_ARGS__))
+
+/**
+ * Internal invariant check. Enabled in all build types: the simulator's
+ * correctness argument rests on these holding, and the cost is negligible
+ * next to the numerical kernels.
+ */
+#define nlfm_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            nlfm_panic("assertion failed: " #cond ". ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // NLFM_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal thread pool with a deterministic parallelFor.
+ *
+ * The functional simulation of the larger Table-1 networks (e.g. MNMT,
+ * 8x1024 LSTM) is matvec-bound; parallelising over neurons keeps the
+ * bench harness fast. Work is split into contiguous static chunks so the
+ * assignment of iterations to chunks is deterministic regardless of
+ * thread count (per-iteration state must still be independent, which it
+ * is for per-neuron memoization entries).
+ */
+
+#ifndef NLFM_COMMON_PARALLEL_HH
+#define NLFM_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nlfm
+{
+
+/**
+ * Fixed-size pool of worker threads executing blocking range jobs.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means hardware_concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Execute body(begin, end) over [0, count) split into one contiguous
+     * chunk per thread; blocks until all chunks complete. The calling
+     * thread runs chunk 0.
+     */
+    void run(std::size_t count,
+             const std::function<void(std::size_t, std::size_t)> &body);
+
+    /** Process-wide shared pool (lazily constructed). */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        const std::function<void(std::size_t, std::size_t)> *body = nullptr;
+        std::vector<std::pair<std::size_t, std::size_t>> ranges;
+        std::size_t nextChunk = 0;
+        std::size_t pending = 0;
+        std::uint64_t epoch = 0;
+    };
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wakeWorkers_;
+    std::condition_variable jobDone_;
+    Job job_;
+    std::uint64_t epoch_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Convenience wrapper over ThreadPool::global().
+ *
+ * Falls back to a plain loop for small counts where the dispatch
+ * overhead would dominate.
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)> &body);
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_PARALLEL_HH

@@ -1,0 +1,117 @@
+#include "common/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nlfm
+{
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    nlfm_assert(header_.empty() || row.size() == header_.size(),
+                "row width ", row.size(), " != header width ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            oss << row[i];
+            if (i + 1 < row.size())
+                oss << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t rule = 0;
+        for (std::size_t w : widths)
+            rule += w + 2;
+        oss << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+TablePrinter::csv(const std::string &tag) const
+{
+    std::ostringstream oss;
+    oss << "# BEGIN CSV " << tag << '\n';
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            std::string cell = row[i];
+            std::replace(cell.begin(), cell.end(), ',', ';');
+            oss << cell;
+            if (i + 1 < row.size())
+                oss << ',';
+        }
+        oss << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    oss << "# END CSV\n";
+    return oss.str();
+}
+
+void
+TablePrinter::print(const std::string &csv_tag) const
+{
+    std::fputs(str().c_str(), stdout);
+    if (!csv_tag.empty())
+        std::fputs(csv(csv_tag).c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+    return buffer;
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits,
+                  fraction * 100.0);
+    return buffer;
+}
+
+} // namespace nlfm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text report helpers: aligned tables and CSV blocks.
+ *
+ * Every bench binary prints its figure/table twice — once as an aligned
+ * human-readable table, once as a machine-readable CSV block delimited by
+ * `# BEGIN CSV <tag>` / `# END CSV` lines — so results can be both eyeballed
+ * and re-plotted.
+ */
+
+#ifndef NLFM_COMMON_REPORT_HH
+#define NLFM_COMMON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace nlfm
+{
+
+/**
+ * Column-aligned table builder.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title heading printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Print to stdout (table followed by a CSV block tagged @p csv_tag). */
+    void print(const std::string &csv_tag = "") const;
+
+    /** Render the CSV block only. */
+    std::string csv(const std::string &tag) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string formatDouble(double value, int digits = 3);
+
+/** Format a fraction as a percentage string, e.g. 0.241 -> "24.1%". */
+std::string formatPercent(double fraction, int digits = 1);
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_REPORT_HH

@@ -1,0 +1,117 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace nlfm
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 significant bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to kill modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound + 1) % bound;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw > limit);
+    return draw % bound;
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    spare_ = radius * std::sin(angle);
+    hasSpare_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+void
+Rng::fillNormal(std::vector<float> &out, double mean, double stddev)
+{
+    for (auto &value : out)
+        value = static_cast<float>(normal(mean, stddev));
+}
+
+Rng
+Rng::fork(std::uint64_t index)
+{
+    // Mix the parent's next word with the child index through SplitMix64.
+    std::uint64_t seed = next() ^ (0x632be59bd9b4e019ull * (index + 1));
+    return Rng(seed);
+}
+
+} // namespace nlfm

@@ -1,0 +1,142 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nlfm
+{
+
+void
+RunningStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+PearsonAccumulator::add(double x, double y)
+{
+    ++count_;
+    const auto n = static_cast<double>(count_);
+    const double dx = x - meanX_;
+    meanX_ += dx / n;
+    const double dy = y - meanY_;
+    meanY_ += dy / n;
+    // Co-moment update uses the *updated* meanX and pre-update dy form.
+    m2x_ += dx * (x - meanX_);
+    m2y_ += dy * (y - meanY_);
+    cov_ += dx * (y - meanY_);
+}
+
+void
+PearsonAccumulator::merge(const PearsonAccumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double total = n1 + n2;
+    const double dx = other.meanX_ - meanX_;
+    const double dy = other.meanY_ - meanY_;
+    m2x_ += other.m2x_ + dx * dx * n1 * n2 / total;
+    m2y_ += other.m2y_ + dy * dy * n1 * n2 / total;
+    cov_ += other.cov_ + dx * dy * n1 * n2 / total;
+    meanX_ += dx * n2 / total;
+    meanY_ += dy * n2 / total;
+    count_ += other.count_;
+}
+
+double
+PearsonAccumulator::correlation() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double denom = std::sqrt(m2x_) * std::sqrt(m2y_);
+    if (denom <= 0.0)
+        return 0.0;
+    return cov_ / denom;
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    nlfm_assert(!values.empty(), "percentile of empty sample");
+    nlfm_assert(q >= 0.0 && q <= 100.0, "percentile out of range: ", q);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace nlfm

@@ -1,0 +1,85 @@
+#include "epur/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::epur
+{
+
+AreaModel::AreaModel(const EpurConfig &config)
+{
+    // 28 nm component inventory. SRAM density ~2.6 mm²/MiB for large
+    // arrays (ITRS-era 28 nm, incl. periphery); eDRAM denser. Logic
+    // sized relative to the memories so the baseline totals the paper's
+    // 64.6 mm². Scale factors keep the inventory consistent if a caller
+    // resizes the buffers.
+    const double mib = 1024.0 * 1024.0;
+    const double weight_mib =
+        static_cast<double>(config.computeUnits) *
+        static_cast<double>(config.weightBufferBytesPerCu) / mib;
+    const double interm_mib =
+        static_cast<double>(config.intermediateMemoryBytes) / mib;
+    const double input_kib =
+        static_cast<double>(config.computeUnits) *
+        static_cast<double>(config.inputBufferBytesPerCu) / 1024.0;
+    const double memo_kib =
+        static_cast<double>(config.computeUnits) *
+        static_cast<double>(config.memoBufferBytes) / 1024.0;
+
+    components_ = {
+        // Baseline E-PUR.
+        {"weight buffers (SRAM)", 3.10 * weight_mib, false},       // 24.8
+        {"intermediate memory (eDRAM)", 2.90 * interm_mib, false}, // 17.4
+        {"input buffers (SRAM)", 0.030 * input_kib, false},        // 0.96
+        {"DPUs", 2.80 * config.computeUnits, false},               // 11.2
+        {"MUs", 1.55 * config.computeUnits, false},                // 6.2
+        {"control + interconnect", 4.04, false},                   // 4.04
+        // E-PUR+BM additions (§3.3.2): the weight-buffer split adds
+        // sign-array periphery (<1 % of the weight buffers), and the
+        // FMU brings memoization buffers + BDPU + CMP.
+        {"sign-buffer split overhead", 0.008 * 3.10 * weight_mib, true},
+        {"memoization buffers (eDRAM)", 0.055 * memo_kib, true},   // 1.76
+        {"BDPU + CMP logic", 0.060 * config.computeUnits, true},   // 0.24
+    };
+
+    nlfm_assert(baselineArea() > 0.0, "empty area inventory");
+}
+
+double
+AreaModel::baselineArea() const
+{
+    double total = 0.0;
+    for (const auto &component : components_)
+        if (!component.memoizationOnly)
+            total += component.mm2;
+    return total;
+}
+
+double
+AreaModel::memoizedArea() const
+{
+    double total = 0.0;
+    for (const auto &component : components_)
+        total += component.mm2;
+    return total;
+}
+
+double
+AreaModel::overheadFraction() const
+{
+    return memoizedArea() / baselineArea() - 1.0;
+}
+
+double
+AreaModel::scratchpadOverheadFraction() const
+{
+    double extra = 0.0;
+    for (const auto &component : components_) {
+        if (component.memoizationOnly &&
+            component.name.find("logic") == std::string::npos) {
+            extra += component.mm2;
+        }
+    }
+    return extra / baselineArea();
+}
+
+} // namespace nlfm::epur

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Area model (paper §5: E-PUR 64.6 mm², E-PUR+BM 66.8 mm², ~4 % overhead,
+ * of which ~3 points are the extra scratch-pad memory from the weight-
+ * buffer split and the memoization buffers).
+ */
+
+#ifndef NLFM_EPUR_AREA_MODEL_HH
+#define NLFM_EPUR_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "epur/epur_config.hh"
+
+namespace nlfm::epur
+{
+
+/** One named component's area. */
+struct AreaComponent
+{
+    std::string name;
+    double mm2 = 0.0;
+    bool memoizationOnly = false; ///< present only in E-PUR+BM
+};
+
+/**
+ * Per-component area inventory at 28 nm.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const EpurConfig &config);
+
+    const std::vector<AreaComponent> &components() const
+    {
+        return components_;
+    }
+
+    /** Total area of the baseline accelerator (mm²). */
+    double baselineArea() const;
+
+    /** Total area with the memoization extension (mm²). */
+    double memoizedArea() const;
+
+    /** Fractional overhead of E-PUR+BM over E-PUR. */
+    double overheadFraction() const;
+
+    /** Overhead contributed by scratch-pad components only. */
+    double scratchpadOverheadFraction() const;
+
+  private:
+    std::vector<AreaComponent> components_;
+};
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_AREA_MODEL_HH

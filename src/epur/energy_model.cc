@@ -1,0 +1,43 @@
+#include "epur/energy_model.hh"
+
+namespace nlfm::epur
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &events, const EnergyParams &params)
+{
+    constexpr double pj = 1e-12;
+
+    EnergyBreakdown out;
+
+    // Scratch-pad memories: weight magnitudes, weight signs, inputs,
+    // intermediate results. Leakage of the buffers scales with runtime.
+    out.scratchpadJ =
+        pj * (events.weightBufferBytes * params.weightBufferReadPerByte +
+              events.signBufferBytes * params.signBufferReadPerByte +
+              events.inputBufferBytes * params.inputBufferReadPerByte +
+              events.intermediateBytes * params.intermediateAccessPerByte) +
+        events.seconds * params.leakScratchpadW;
+
+    // Pipeline operations: DPU MACs + MU scalar ops.
+    out.operationsJ = pj * (events.dpuMacs * params.dpuMacFp16 +
+                            events.muOps * params.muOp) +
+                      events.seconds * params.leakOperationsW;
+
+    // Main memory.
+    out.dramJ = pj * events.dramBytes * params.dramPerByte;
+
+    // FMU: BDPU passes, CMP micro-ops, memoization buffer traffic, and
+    // the unit's own leakage (only when the FMU exists).
+    out.fmuJ = pj * (events.bdpuWords * params.bdpuPerWord +
+                     events.cmpOps * params.cmpOp +
+                     events.memoBufferBytes *
+                         params.memoBufferAccessPerByte) +
+               (events.fmuPresent
+                    ? events.seconds * params.leakFmuW
+                    : 0.0);
+
+    return out;
+}
+
+} // namespace nlfm::epur

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Event-based energy model of E-PUR / E-PUR+BM.
+ *
+ * The paper derives energy from Synopsys DC synthesis (pipeline), CACTI
+ * (on-chip memories) and Micron's LPDDR4 power model (§4). None of those
+ * tools is available offline, so this model charges per-event energies
+ * whose magnitudes follow the published 28/32 nm characterization
+ * literature and are calibrated so the *baseline* breakdown reproduces
+ * the paper's Fig. 18 shape (scratch-pad-dominant; "fetching [weights]
+ * accounts for up to 80% of the total energy consumption in
+ * state-of-the-art accelerators" §3.1). Absolute joules are not claimed
+ * — all experiments report ratios. See DESIGN.md §3.
+ */
+
+#ifndef NLFM_EPUR_ENERGY_MODEL_HH
+#define NLFM_EPUR_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "epur/epur_config.hh"
+
+namespace nlfm::epur
+{
+
+/**
+ * Per-event dynamic energies (picojoules) and per-component leakage
+ * powers (watts).
+ */
+struct EnergyParams
+{
+    // --- dynamic, pJ ---
+    double weightBufferReadPerByte = 1.10;
+    double signBufferReadPerByte = 0.70;
+    double inputBufferReadPerByte = 0.25;
+    double intermediateAccessPerByte = 0.80;
+    double memoBufferAccessPerByte = 0.45;
+    double dpuMacFp16 = 1.00;
+    double muOp = 0.80;
+    double bdpuPerWord = 55.0; ///< one 2048-bit XNOR + adder-tree pass
+    double cmpOp = 0.50;       ///< one fixed-point CMP micro-op
+    double dramPerByte = 32.0; ///< LPDDR4, ~4 pJ/bit
+
+    // --- leakage, W (whole accelerator, grouped by bucket) ---
+    double leakScratchpadW = 0.012;
+    double leakOperationsW = 0.006;
+    double leakFmuW = 0.0012; ///< E-PUR+BM only
+
+    /** Defaults above. */
+    static EnergyParams defaults() { return {}; }
+};
+
+/**
+ * Event counters accumulated by the simulator for one run.
+ */
+struct EnergyEvents
+{
+    // Bytes moved.
+    double weightBufferBytes = 0;       ///< FP16 magnitude stream
+    double signBufferBytes = 0;         ///< 1-bit weight signs (E-PUR+BM)
+    double inputBufferBytes = 0;
+    double intermediateBytes = 0;
+    double memoBufferBytes = 0;
+    double dramBytes = 0;
+    // Operation counts.
+    double dpuMacs = 0;
+    double muOps = 0;
+    double bdpuWords = 0;
+    double cmpOps = 0;
+    // Run length (for leakage).
+    double seconds = 0;
+    bool fmuPresent = false;
+};
+
+/**
+ * Energy of one run bucketed as the paper's Fig. 18 does: scratch-pad
+ * memories, pipeline operations, LPDDR4, and the FMU overhead. Leakage
+ * is folded into its component's bucket ("static and dynamic").
+ */
+struct EnergyBreakdown
+{
+    double scratchpadJ = 0;
+    double operationsJ = 0;
+    double dramJ = 0;
+    double fmuJ = 0;
+
+    double totalJ() const
+    {
+        return scratchpadJ + operationsJ + dramJ + fmuJ;
+    }
+};
+
+/** Evaluate the breakdown of a set of events. */
+EnergyBreakdown computeEnergy(const EnergyEvents &events,
+                              const EnergyParams &params);
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_ENERGY_MODEL_HH

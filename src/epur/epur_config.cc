@@ -1,0 +1,20 @@
+#include "epur/epur_config.hh"
+
+#include <sstream>
+
+namespace nlfm::epur
+{
+
+std::string
+EpurConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << technologyNm << " nm @ " << frequencyHz / 1e6 << " MHz, "
+        << computeUnits << " CUs, DPU width " << dpuWidth
+        << ", weight buffer " << (weightBufferBytesPerCu >> 20)
+        << " MiB/CU, BDPU " << bdpuWidthBits << " b, FMU latency "
+        << fmuLatencyCycles << " cycles";
+    return oss.str();
+}
+
+} // namespace nlfm::epur

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * E-PUR accelerator configuration (paper Table 2).
+ *
+ * E-PUR [30] is the PACT'18 "Energy-efficient Processing Unit for
+ * Recurrent Networks" the paper builds on: four computation units (one
+ * per LSTM gate), each with a 16-wide FP16 dot-product unit (DPU), a
+ * multi-functional unit (MU) for bias/peephole/activation, a 2 MiB
+ * weight buffer and an 8 KiB input buffer, plus a shared 6 MiB on-chip
+ * memory for intermediate results. The fuzzy-memoization extension
+ * (E-PUR+BM, §3.3.2) splits each weight buffer into sign + magnitude and
+ * adds a fuzzy memoization unit (FMU) with a 2048-bit binary dot-product
+ * unit (BDPU), a fixed-point comparison unit (CMP) and an 8 KiB
+ * memoization buffer.
+ */
+
+#ifndef NLFM_EPUR_EPUR_CONFIG_HH
+#define NLFM_EPUR_EPUR_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nlfm::epur
+{
+
+/** Static hardware parameters (defaults = paper Table 2). */
+struct EpurConfig
+{
+    // Technology.
+    double frequencyHz = 500e6; ///< 500 MHz
+    double voltage = 0.78;      ///< V, typical corner
+    int technologyNm = 28;
+
+    // Memories.
+    std::size_t intermediateMemoryBytes = 6ull << 20; ///< 6 MiB
+    std::size_t weightBufferBytesPerCu = 2ull << 20;  ///< 2 MiB per CU
+    std::size_t inputBufferBytesPerCu = 8ull << 10;   ///< 8 KiB per CU
+
+    // Pipeline.
+    std::size_t computeUnits = 4; ///< one per LSTM gate
+    std::size_t dpuWidth = 16;    ///< FP16 MACs per cycle
+    std::size_t weightBytes = 2;  ///< FP16 weights/activations
+
+    // Memoization unit.
+    std::size_t bdpuWidthBits = 2048; ///< binary ops per BDPU cycle
+    std::size_t fmuLatencyCycles = 5; ///< per-neuron FMU latency
+    std::size_t cmpIntegerBytes = 2;
+    std::size_t memoBufferBytes = 8ull << 10; ///< 8 KiB eDRAM
+
+    // Main memory.
+    std::size_t dramBytes = 4ull << 30; ///< 4 GB LPDDR4
+
+    /** Seconds per clock cycle. */
+    double cycleSeconds() const { return 1.0 / frequencyHz; }
+
+    /** Bytes of one memoization-buffer entry (y_m, yb_m, delta_b). */
+    std::size_t memoEntryBytes() const { return 3 * cmpIntegerBytes; }
+
+    std::string describe() const;
+};
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_EPUR_CONFIG_HH

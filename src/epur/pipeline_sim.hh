@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cycle-by-cycle model of one computation unit processing a gate-step
+ * under E-PUR+BM, used to validate the analytic TimingModel and to
+ * explore an FMU micro-architecture ablation.
+ *
+ * Two FMU scheduling disciplines are modeled:
+ *
+ *  - Serialized (the paper's accounting): each neuron's FMU probe
+ *    completes (5 cycles) before the next neuron proceeds; a miss then
+ *    occupies the DPU for ceil(K/16) cycles, overlapped with its own
+ *    probe. Per-neuron cost = hit ? 5 : max(D, 5) — exactly the
+ *    closed form TimingModel charges ("the memoization scheme
+ *    introduces an overhead of 5 cycles per neuron").
+ *
+ *  - Pipelined (optimistic ablation): probes issue one per cycle and
+ *    retire 5 cycles later; the DPU starts a missing neuron as soon as
+ *    both its decision is known and the DPU is free. Gate-step time =
+ *    max(last decision, DPU busy tail). This bounds how much a more
+ *    aggressive FMU could recover of the probe overhead.
+ */
+
+#ifndef NLFM_EPUR_PIPELINE_SIM_HH
+#define NLFM_EPUR_PIPELINE_SIM_HH
+
+#include <vector>
+
+#include "epur/timing_model.hh"
+
+namespace nlfm::epur
+{
+
+/** FMU scheduling discipline. */
+enum class FmuSchedule
+{
+    Serialized, ///< the paper's 5-cycles-per-neuron accounting
+    Pipelined,  ///< 1 probe issued per cycle, decisions in flight
+};
+
+/**
+ * Detailed gate-step simulator.
+ */
+class PipelineSimulator
+{
+  public:
+    explicit PipelineSimulator(const EpurConfig &config);
+
+    /**
+     * Cycles for one gate-step over @p hit (per-neuron reuse flags) for
+     * a gate whose neurons read @p input_width operands.
+     */
+    std::uint64_t simulateGateStep(std::size_t input_width,
+                                   const std::vector<bool> &hit,
+                                   FmuSchedule schedule) const;
+
+    /**
+     * Convenience: gate-step cycles at a given miss count with misses
+     * spread evenly through the issue order (deterministic pattern).
+     */
+    std::uint64_t simulateGateStep(std::size_t input_width,
+                                   std::size_t neurons,
+                                   std::size_t misses,
+                                   FmuSchedule schedule) const;
+
+    const EpurConfig &config() const { return config_; }
+
+  private:
+    EpurConfig config_;
+    TimingModel timing_;
+};
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_PIPELINE_SIM_HH

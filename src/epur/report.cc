@@ -1,0 +1,41 @@
+#include "epur/report.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nlfm::epur
+{
+
+std::vector<std::pair<std::string, double>>
+breakdownItems(const EnergyBreakdown &breakdown)
+{
+    return {
+        {"scratchpad", breakdown.scratchpadJ},
+        {"operations", breakdown.operationsJ},
+        {"LPDDR4", breakdown.dramJ},
+        {"FMU", breakdown.fmuJ},
+    };
+}
+
+std::vector<std::pair<std::string, double>>
+breakdownShares(const EnergyBreakdown &breakdown, double reference_total)
+{
+    nlfm_assert(reference_total > 0.0, "reference total must be positive");
+    auto items = breakdownItems(breakdown);
+    for (auto &item : items)
+        item.second /= reference_total;
+    return items;
+}
+
+std::string
+summarize(const SimResult &result)
+{
+    std::ostringstream oss;
+    oss << result.timing.cycles << " cycles ("
+        << result.timing.seconds * 1e3 << " ms), "
+        << result.energy.totalJ() * 1e3 << " mJ";
+    return oss.str();
+}
+
+} // namespace nlfm::epur

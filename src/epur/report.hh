@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Presentation helpers for simulator results (Fig. 17/18/19 rows).
+ */
+
+#ifndef NLFM_EPUR_REPORT_HH
+#define NLFM_EPUR_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "epur/simulator.hh"
+
+namespace nlfm::epur
+{
+
+/** (bucket name, joules) pairs in Fig. 18's order. */
+std::vector<std::pair<std::string, double>>
+breakdownItems(const EnergyBreakdown &breakdown);
+
+/** Normalize a breakdown against a reference total (for stacked bars). */
+std::vector<std::pair<std::string, double>>
+breakdownShares(const EnergyBreakdown &breakdown, double reference_total);
+
+/** One-line summary: cycles, seconds, total energy. */
+std::string summarize(const SimResult &result);
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_REPORT_HH

@@ -1,0 +1,158 @@
+#include "epur/simulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nlfm::epur
+{
+
+Simulator::Simulator(const EpurConfig &config, const EnergyParams &params)
+    : timing_(config), params_(params)
+{
+}
+
+void
+Simulator::addSharedEvents(const nn::RnnNetwork &network,
+                           double total_steps, double sequences,
+                           EnergyEvents &events) const
+{
+    const auto &config = network.config();
+    const double weight_bytes =
+        static_cast<double>(config.totalWeights()) *
+        static_cast<double>(timing_.config().weightBytes);
+
+    // Weights stream from LPDDR4 once per input sequence (§5).
+    events.dramBytes += weight_bytes * sequences;
+
+    // MU work: bias + peephole + activation + emit, per neuron per step
+    // (the MU runs even for memoized neurons — y_m is "sent directly to
+    // the MU, bypassing the DPU").
+    events.muOps += static_cast<double>(network.totalNeurons()) *
+                    mu_ops_per_neuron * total_steps;
+
+    // Intermediate memory: each cell writes its hidden vector and the
+    // consumer reads it back, FP16 each way.
+    const double cells =
+        static_cast<double>(config.layers * config.directions());
+    events.intermediateBytes +=
+        cells * static_cast<double>(config.hiddenSize) * 2.0 *
+        static_cast<double>(timing_.config().weightBytes) * total_steps;
+}
+
+SimResult
+Simulator::simulateBaseline(
+    const nn::RnnNetwork &network,
+    std::span<const std::size_t> sequence_steps) const
+{
+    SimResult result;
+    result.timing = timing_.simulateBaseline(network, sequence_steps);
+
+    double total_steps = 0;
+    for (std::size_t steps : sequence_steps)
+        total_steps += static_cast<double>(steps);
+
+    EnergyEvents &events = result.events;
+    const double wb = static_cast<double>(timing_.config().weightBytes);
+    for (const auto &inst : network.gateInstances()) {
+        const double k = static_cast<double>(inst.xSize + inst.hSize);
+        const double n = static_cast<double>(inst.neurons);
+        events.weightBufferBytes += n * k * wb * total_steps;
+        events.inputBufferBytes += n * k * wb * total_steps;
+        events.dpuMacs += n * k * total_steps;
+    }
+    addSharedEvents(network, total_steps,
+                    static_cast<double>(sequence_steps.size()), events);
+    events.seconds = result.timing.seconds;
+    events.fmuPresent = false;
+
+    result.energy = computeEnergy(events, params_);
+    return result;
+}
+
+SimResult
+Simulator::simulateMemoized(
+    const nn::RnnNetwork &network,
+    std::span<const memo::SequenceTrace> traces) const
+{
+    SimResult result;
+    result.timing = timing_.simulateMemoized(network, traces);
+
+    const auto &instances = network.gateInstances();
+    EnergyEvents &events = result.events;
+    const double wb = static_cast<double>(timing_.config().weightBytes);
+    const double bdpu_bits =
+        static_cast<double>(timing_.config().bdpuWidthBits);
+    const double entry_bytes =
+        static_cast<double>(timing_.config().memoEntryBytes());
+
+    double total_steps = 0;
+    for (const auto &trace : traces) {
+        nlfm_assert(trace.gates.size() == instances.size(),
+                    "trace does not match the network");
+        total_steps += static_cast<double>(trace.steps());
+
+        for (const auto &inst : instances) {
+            const double k = static_cast<double>(inst.xSize + inst.hSize);
+            const double n = static_cast<double>(inst.neurons);
+            const double bdpu_words_per_probe =
+                std::ceil(k / bdpu_bits);
+            for (std::uint32_t miss_count :
+                 trace.gates[inst.instanceId].misses) {
+                const double misses = miss_count;
+                const double hits = n - misses;
+                nlfm_assert(misses <= n, "more misses than neurons");
+
+                // FMU probe for every neuron: weight signs + binarized
+                // inputs (1 bit each), one BDPU pass, CMP micro-ops,
+                // memo entry read.
+                events.signBufferBytes += n * k / 8.0;
+                events.inputBufferBytes += n * k / 8.0;
+                events.bdpuWords += n * bdpu_words_per_probe;
+                events.cmpOps += n * cmp_ops_per_probe;
+                events.memoBufferBytes += n * entry_bytes;
+
+                // Hits update delta_b in the memo buffer.
+                events.memoBufferBytes +=
+                    hits * static_cast<double>(
+                               timing_.config().cmpIntegerBytes);
+                // Misses refresh the whole entry and run the DPU: the
+                // 15 magnitude bits of each weight (the sign bit
+                // already came from the sign buffer) plus the FP16
+                // inputs.
+                events.memoBufferBytes += misses * entry_bytes;
+                events.weightBufferBytes +=
+                    misses * k * (wb - 1.0 / 8.0);
+                events.inputBufferBytes += misses * k * wb;
+                events.dpuMacs += misses * k;
+            }
+        }
+    }
+
+    addSharedEvents(network, total_steps,
+                    static_cast<double>(traces.size()), events);
+    events.seconds = result.timing.seconds;
+    events.fmuPresent = true;
+
+    result.energy = computeEnergy(events, params_);
+    return result;
+}
+
+double
+Simulator::speedup(const SimResult &baseline, const SimResult &memoized)
+{
+    nlfm_assert(memoized.timing.cycles > 0, "empty memoized run");
+    return static_cast<double>(baseline.timing.cycles) /
+           static_cast<double>(memoized.timing.cycles);
+}
+
+double
+Simulator::energySavings(const SimResult &baseline,
+                         const SimResult &memoized)
+{
+    const double base = baseline.energy.totalJ();
+    nlfm_assert(base > 0.0, "empty baseline run");
+    return 1.0 - memoized.energy.totalJ() / base;
+}
+
+} // namespace nlfm::epur

@@ -1,0 +1,129 @@
+#include "epur/timing_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::epur
+{
+
+TimingModel::TimingModel(const EpurConfig &config) : config_(config)
+{
+    nlfm_assert(config.dpuWidth > 0 && config.bdpuWidthBits > 0,
+                "bad accelerator widths");
+}
+
+std::uint64_t
+TimingModel::dpuCyclesPerNeuron(std::size_t input_width) const
+{
+    return (input_width + config_.dpuWidth - 1) / config_.dpuWidth;
+}
+
+std::uint64_t
+TimingModel::fmuCyclesPerNeuron(std::size_t input_width) const
+{
+    // The BDPU consumes bdpuWidthBits per cycle; gates wider than one
+    // word extend the probe beyond the 5-cycle base latency.
+    const std::uint64_t bdpu_cycles =
+        (input_width + config_.bdpuWidthBits - 1) / config_.bdpuWidthBits;
+    return std::max<std::uint64_t>(config_.fmuLatencyCycles, bdpu_cycles);
+}
+
+std::uint64_t
+TimingModel::missCyclesPerNeuron(std::size_t input_width) const
+{
+    return std::max(dpuCyclesPerNeuron(input_width),
+                    fmuCyclesPerNeuron(input_width));
+}
+
+TimingResult
+TimingModel::simulateBaseline(
+    const nn::RnnNetwork &network,
+    std::span<const std::size_t> sequence_steps) const
+{
+    const auto &instances = network.gateInstances();
+
+    // Per cell-step cost: max over the cell's gates of
+    // neurons * dpuCycles (gates run on parallel CUs).
+    // With every neuron evaluated, the per-step cost is
+    // step-independent, so one pass over cells suffices.
+    std::uint64_t cell_step_total = 0;
+    std::size_t current_cell = static_cast<std::size_t>(-1);
+    std::uint64_t cell_max = 0;
+    auto flush = [&]() {
+        cell_step_total += cell_max;
+        cell_max = 0;
+    };
+    for (const auto &inst : instances) {
+        if (inst.cellId != current_cell) {
+            if (current_cell != static_cast<std::size_t>(-1))
+                flush();
+            current_cell = inst.cellId;
+        }
+        const std::uint64_t gate_cycles =
+            static_cast<std::uint64_t>(inst.neurons) *
+            dpuCyclesPerNeuron(inst.xSize + inst.hSize);
+        cell_max = std::max(cell_max, gate_cycles);
+    }
+    if (current_cell != static_cast<std::size_t>(-1))
+        flush();
+
+    std::uint64_t total_steps = 0;
+    for (std::size_t steps : sequence_steps)
+        total_steps += steps;
+
+    TimingResult result;
+    result.cycles = cell_step_total * total_steps;
+    result.seconds = static_cast<double>(result.cycles) *
+                     config_.cycleSeconds();
+    return result;
+}
+
+TimingResult
+TimingModel::simulateMemoized(
+    const nn::RnnNetwork &network,
+    std::span<const memo::SequenceTrace> traces) const
+{
+    const auto &instances = network.gateInstances();
+
+    std::uint64_t total = 0;
+    for (const auto &trace : traces) {
+        nlfm_assert(trace.gates.size() == instances.size(),
+                    "trace does not match the network");
+        const std::size_t steps = trace.steps();
+
+        // Group gates by cell; per step take the max across the cell's
+        // gates, then sum cells (cells serialized, gates concurrent).
+        for (std::size_t step = 0; step < steps; ++step) {
+            std::size_t current_cell = static_cast<std::size_t>(-1);
+            std::uint64_t cell_max = 0;
+            for (const auto &inst : instances) {
+                if (inst.cellId != current_cell) {
+                    total += cell_max;
+                    cell_max = 0;
+                    current_cell = inst.cellId;
+                }
+                const auto &misses =
+                    trace.gates[inst.instanceId].misses;
+                if (step >= misses.size())
+                    continue; // this gate saw a shorter sequence
+                const std::uint64_t miss_count = misses[step];
+                const std::uint64_t hit_count =
+                    inst.neurons - miss_count;
+                const std::size_t width = inst.xSize + inst.hSize;
+                const std::uint64_t gate_cycles =
+                    miss_count * missCyclesPerNeuron(width) +
+                    hit_count * fmuCyclesPerNeuron(width);
+                cell_max = std::max(cell_max, gate_cycles);
+            }
+            total += cell_max;
+        }
+    }
+
+    TimingResult result;
+    result.cycles = total;
+    result.seconds = static_cast<double>(total) * config_.cycleSeconds();
+    return result;
+}
+
+} // namespace nlfm::epur

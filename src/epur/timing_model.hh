@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic cycle model of E-PUR / E-PUR+BM (paper §3.3, §5).
+ *
+ * Baseline (§3.3.1): within a gate, neurons are evaluated sequentially;
+ * one neuron's dot products stream K = Nx + Nh weights through the
+ * 16-wide DPU, i.e. ceil(K/16) cycles. The MU overlaps with the DPU. The
+ * cell's four gates run concurrently on the four CUs, so a cell-step
+ * costs the per-step maximum over its gates; cells (layers, directions)
+ * are serialized by the recurrent data dependency.
+ *
+ * E-PUR+BM (§3.3.2, §5): every neuron first takes the FMU probe
+ * (5-cycle latency, Table 2). On a hit, the DPU evaluation is skipped
+ * and the neuron costs just those 5 cycles ("the memoization scheme
+ * introduces an overhead of 5 cycles per neuron ... In case the full
+ * precision neuron evaluation can be avoided, our scheme saves between
+ * 16 and 80 cycles depending on the RNN"). On a miss, the FMU probe
+ * overlaps with the DPU evaluation, so the cost is
+ * max(ceil(K/16), fmu latency).
+ */
+
+#ifndef NLFM_EPUR_TIMING_MODEL_HH
+#define NLFM_EPUR_TIMING_MODEL_HH
+
+#include <vector>
+
+#include "epur/epur_config.hh"
+#include "memo/reuse_stats.hh"
+#include "nn/rnn_network.hh"
+
+namespace nlfm::epur
+{
+
+/** Cycle counts of one simulated run. */
+struct TimingResult
+{
+    std::uint64_t cycles = 0;
+    double seconds = 0;
+};
+
+/**
+ * Cycle model over a network's gate shapes.
+ */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const EpurConfig &config);
+
+    /** ceil(K/dpuWidth): DPU cycles of one full neuron evaluation. */
+    std::uint64_t dpuCyclesPerNeuron(std::size_t input_width) const;
+
+    /** FMU probe cost per neuron (hit path). */
+    std::uint64_t fmuCyclesPerNeuron(std::size_t input_width) const;
+
+    /** Neuron cost on the miss path (FMU overlapped with DPU). */
+    std::uint64_t missCyclesPerNeuron(std::size_t input_width) const;
+
+    /**
+     * Baseline run: every neuron fully evaluated for @p sequence_steps
+     * timesteps per sequence.
+     */
+    TimingResult simulateBaseline(
+        const nn::RnnNetwork &network,
+        std::span<const std::size_t> sequence_steps) const;
+
+    /**
+     * Memoized run driven by per-step miss traces (one SequenceTrace per
+     * input sequence, as recorded by memo::MemoEngine).
+     */
+    TimingResult simulateMemoized(
+        const nn::RnnNetwork &network,
+        std::span<const memo::SequenceTrace> traces) const;
+
+    const EpurConfig &config() const { return config_; }
+
+  private:
+    EpurConfig config_;
+};
+
+} // namespace nlfm::epur
+
+#endif // NLFM_EPUR_TIMING_MODEL_HH

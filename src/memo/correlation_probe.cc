@@ -1,0 +1,121 @@
+#include "memo/correlation_probe.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm::memo
+{
+
+CorrelationProbe::CorrelationProbe(const nn::RnnNetwork &network,
+                                   nn::BinarizedNetwork *bnn,
+                                   const ProbeOptions &options)
+    : network_(network), bnn_(bnn), options_(options),
+      neuronCorr_(network.totalNeurons()),
+      prevOutput_(network.totalNeurons(), 0.f),
+      hasPrev_(network.totalNeurons(), 0),
+      deltaHistogram_(options.deltaBins, 0.0, options.deltaCeiling)
+{
+    nlfm_assert(bnn != nullptr, "probe requires the binarized mirror");
+}
+
+void
+CorrelationProbe::beginSequence()
+{
+    std::fill(hasPrev_.begin(), hasPrev_.end(), 0);
+}
+
+void
+CorrelationProbe::evaluateGate(const nn::GateInstance &instance,
+                               const nn::GateParams &params,
+                               std::span<const float> x,
+                               std::span<const float> h,
+                               std::span<float> preact)
+{
+    nn::BinarizedGate &bgate = bnn_->gate(instance.instanceId);
+    bgate.binarizeInput(x, h);
+
+    parallelFor(instance.neurons, [&](std::size_t begin, std::size_t end) {
+        Histogram local_hist(options_.deltaBins, 0.0,
+                             options_.deltaCeiling);
+        RunningStats local_stats;
+        PearsonAccumulator local_overall;
+        std::vector<std::pair<float, int>> local_scatter;
+
+        for (std::size_t n = begin; n < end; ++n) {
+            const std::size_t flat = instance.neuronBase + n;
+            const float y_t = nn::evaluateNeuron(params, n, x, h);
+            const int yb_t = bgate.output(n);
+            preact[n] = y_t;
+
+            neuronCorr_[flat].add(y_t, yb_t);
+            local_overall.add(y_t, yb_t);
+
+            if (hasPrev_[flat]) {
+                double delta = tensor::relativeDifference(
+                    y_t, prevOutput_[flat]);
+                delta = std::min(delta, options_.deltaCeiling);
+                local_hist.add(delta);
+                local_stats.add(delta);
+            }
+            prevOutput_[flat] = y_t;
+            hasPrev_[flat] = 1;
+
+            if (flat % options_.scatterStride == 0)
+                local_scatter.emplace_back(y_t, yb_t);
+        }
+
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        deltaHistogram_.merge(local_hist);
+        deltaStats_.merge(local_stats);
+        overallCorr_.merge(local_overall);
+        for (const auto &sample : local_scatter) {
+            if (scatter_.size() >= options_.maxScatterSamples)
+                break;
+            scatter_.push_back(sample);
+        }
+    });
+}
+
+std::vector<double>
+CorrelationProbe::neuronCorrelations() const
+{
+    std::vector<double> out;
+    out.reserve(neuronCorr_.size());
+    for (const auto &acc : neuronCorr_) {
+        if (acc.count() >= 2)
+            out.push_back(acc.correlation());
+    }
+    return out;
+}
+
+double
+CorrelationProbe::overallCorrelation() const
+{
+    return overallCorr_.correlation();
+}
+
+double
+CorrelationProbe::fractionBelow(double x) const
+{
+    if (deltaHistogram_.total() == 0)
+        return 0.0;
+    // Sum full bins below x; the bin containing x contributes pro rata.
+    double below = 0.0;
+    for (std::size_t i = 0; i < deltaHistogram_.bins(); ++i) {
+        if (deltaHistogram_.binHi(i) <= x) {
+            below += static_cast<double>(deltaHistogram_.count(i));
+        } else if (deltaHistogram_.binLo(i) < x) {
+            const double frac = (x - deltaHistogram_.binLo(i)) /
+                                (deltaHistogram_.binHi(i) -
+                                 deltaHistogram_.binLo(i));
+            below += frac * static_cast<double>(deltaHistogram_.count(i));
+        }
+    }
+    return below / static_cast<double>(deltaHistogram_.total());
+}
+
+} // namespace nlfm::memo

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Analysis probe behind the paper's motivation studies.
+ *
+ * CorrelationProbe is a GateEvaluator that computes every neuron exactly
+ * (it never perturbs the network) while recording:
+ *
+ *  - the relative change of each neuron's output between consecutive
+ *    timesteps (Fig. 5's CDF, and the "23% average change" claim),
+ *  - the per-neuron Pearson correlation between full-precision and BNN
+ *    outputs (Fig. 8's histogram),
+ *  - a deterministic subsample of (full-precision, BNN) output pairs and
+ *    the overall correlation factor (Fig. 7's scatter, R = 0.96 for
+ *    EESEN).
+ */
+
+#ifndef NLFM_MEMO_CORRELATION_PROBE_HH
+#define NLFM_MEMO_CORRELATION_PROBE_HH
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "nn/binarized.hh"
+#include "nn/rnn_network.hh"
+
+namespace nlfm::memo
+{
+
+/** Probe configuration. */
+struct ProbeOptions
+{
+    /** Keep one scatter sample stream per this many flat neurons. */
+    std::size_t scatterStride = 173;
+    /** Cap on collected scatter samples. */
+    std::size_t maxScatterSamples = 4000;
+    /** Histogram bins for the relative-change distribution. */
+    std::size_t deltaBins = 400;
+    /** Relative changes are clamped to this ceiling before recording. */
+    double deltaCeiling = 2.0;
+};
+
+/**
+ * Exact evaluator with measurement side-channels.
+ */
+class CorrelationProbe : public nn::GateEvaluator
+{
+  public:
+    CorrelationProbe(const nn::RnnNetwork &network,
+                     nn::BinarizedNetwork *bnn,
+                     const ProbeOptions &options = {});
+
+    void beginSequence() override;
+
+    void evaluateGate(const nn::GateInstance &instance,
+                      const nn::GateParams &params,
+                      std::span<const float> x, std::span<const float> h,
+                      std::span<float> preact) override;
+
+    /**
+     * Per-neuron BNN/RNN correlation factors (neurons with fewer than
+     * two observations are skipped).
+     */
+    std::vector<double> neuronCorrelations() const;
+
+    /** Correlation over all (y, yb) pairs pooled together. */
+    double overallCorrelation() const;
+
+    /** Distribution of consecutive-timestep relative output changes. */
+    const Histogram &deltaHistogram() const { return deltaHistogram_; }
+
+    /** Clamped-mean/min/max of the relative output changes. */
+    const RunningStats &deltaStats() const { return deltaStats_; }
+
+    /** Fraction of consecutive-output events changing less than @p x. */
+    double fractionBelow(double x) const;
+
+    /** Subsampled (full-precision, BNN) output pairs. */
+    const std::vector<std::pair<float, int>> &scatter() const
+    {
+        return scatter_;
+    }
+
+  private:
+    const nn::RnnNetwork &network_;
+    nn::BinarizedNetwork *bnn_;
+    ProbeOptions options_;
+
+    std::vector<PearsonAccumulator> neuronCorr_;
+    PearsonAccumulator overallCorr_;
+    std::vector<float> prevOutput_;
+    std::vector<std::uint8_t> hasPrev_;
+
+    Histogram deltaHistogram_;
+    RunningStats deltaStats_;
+    std::vector<std::pair<float, int>> scatter_;
+    std::mutex mergeMutex_;
+};
+
+} // namespace nlfm::memo
+
+#endif // NLFM_MEMO_CORRELATION_PROBE_HH

@@ -1,0 +1,44 @@
+#include "memo/threshold_tuner.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::memo
+{
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t count)
+{
+    nlfm_assert(count >= 2, "linspace needs at least two points");
+    nlfm_assert(hi >= lo, "linspace range inverted");
+    std::vector<double> out(count);
+    const double step = (hi - lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    return out;
+}
+
+std::vector<TunePoint>
+sweepThresholds(const TuneExperiment &experiment,
+                std::span<const double> thetas)
+{
+    std::vector<TunePoint> points;
+    points.reserve(thetas.size());
+    for (double theta : thetas)
+        points.push_back(experiment(theta));
+    return points;
+}
+
+std::optional<TunePoint>
+selectThreshold(std::span<const TunePoint> points, double max_loss)
+{
+    std::optional<TunePoint> best;
+    for (const auto &point : points) {
+        if (point.accuracyLoss > max_loss)
+            continue;
+        if (!best || point.reuse > best->reuse)
+            best = point;
+    }
+    return best;
+}
+
+} // namespace nlfm::memo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Threshold exploration (paper §3.2.1).
+ *
+ * "We perform an exploration of different values of theta for each RNN
+ * model by using the training set, obtaining accuracy and degree of
+ * computation reuse for each threshold value ... We then select the value
+ * that achieves highest computation reuse with the target accuracy loss."
+ */
+
+#ifndef NLFM_MEMO_THRESHOLD_TUNER_HH
+#define NLFM_MEMO_THRESHOLD_TUNER_HH
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nlfm::memo
+{
+
+/** One measured point of a threshold sweep. */
+struct TunePoint
+{
+    double theta = 0.0;
+    double reuse = 0.0;        ///< fraction of evaluations avoided
+    double accuracyLoss = 0.0; ///< absolute loss vs the baseline network
+};
+
+/**
+ * A tuning experiment: run the workload at the given theta and report
+ * (reuse, accuracy loss).
+ */
+using TuneExperiment = std::function<TunePoint(double theta)>;
+
+/** Evenly spaced grid of @p count values covering [lo, hi]. */
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/** Run the experiment at every theta in @p thetas. */
+std::vector<TunePoint> sweepThresholds(const TuneExperiment &experiment,
+                                       std::span<const double> thetas);
+
+/**
+ * Pick the point with the highest reuse whose accuracy loss is at most
+ * @p max_loss; nullopt when no point qualifies (the caller should then
+ * fall back to theta = 0, i.e. memoization off).
+ */
+std::optional<TunePoint> selectThreshold(std::span<const TunePoint> points,
+                                         double max_loss);
+
+} // namespace nlfm::memo
+
+#endif // NLFM_MEMO_THRESHOLD_TUNER_HH

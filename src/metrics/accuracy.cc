@@ -1,0 +1,26 @@
+#include "metrics/accuracy.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::metrics
+{
+
+double
+agreement(std::span<const std::size_t> a, std::span<const std::size_t> b)
+{
+    nlfm_assert(a.size() == b.size() && !a.empty(),
+                "agreement: bad label vectors");
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i] == b[i] ? 1 : 0;
+    return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+double
+accuracy(std::span<const std::size_t> labels,
+         std::span<const std::size_t> predictions)
+{
+    return agreement(labels, predictions);
+}
+
+} // namespace nlfm::metrics

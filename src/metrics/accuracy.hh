@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Classification agreement/accuracy helpers (IMDB-style workloads).
+ */
+
+#ifndef NLFM_METRICS_ACCURACY_HH
+#define NLFM_METRICS_ACCURACY_HH
+
+#include <cstddef>
+#include <span>
+
+namespace nlfm::metrics
+{
+
+/** Fraction of positions where the two label vectors agree. */
+double agreement(std::span<const std::size_t> a,
+                 std::span<const std::size_t> b);
+
+/** Classification accuracy of @p predictions against @p labels. */
+double accuracy(std::span<const std::size_t> labels,
+                std::span<const std::size_t> predictions);
+
+} // namespace nlfm::metrics
+
+#endif // NLFM_METRICS_ACCURACY_HH

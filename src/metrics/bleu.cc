@@ -1,0 +1,93 @@
+#include "metrics/bleu.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace nlfm::metrics
+{
+
+namespace
+{
+
+/** Multiset of n-grams of order @p order (encoded as id vectors). */
+std::map<std::vector<std::int32_t>, std::size_t>
+ngramCounts(const TokenSeq &tokens, std::size_t order)
+{
+    std::map<std::vector<std::int32_t>, std::size_t> counts;
+    if (tokens.size() < order)
+        return counts;
+    for (std::size_t i = 0; i + order <= tokens.size(); ++i) {
+        std::vector<std::int32_t> gram(tokens.begin() + i,
+                                       tokens.begin() + i + order);
+        ++counts[gram];
+    }
+    return counts;
+}
+
+} // namespace
+
+double
+corpusBleu(std::span<const TokenSeq> references,
+           std::span<const TokenSeq> hypotheses, const BleuOptions &options)
+{
+    nlfm_assert(references.size() == hypotheses.size(),
+                "BLEU: sequence count mismatch");
+    nlfm_assert(options.maxOrder >= 1, "BLEU: order must be positive");
+
+    std::size_t ref_length = 0;
+    std::size_t hyp_length = 0;
+    std::vector<std::size_t> matches(options.maxOrder, 0);
+    std::vector<std::size_t> totals(options.maxOrder, 0);
+
+    for (std::size_t s = 0; s < references.size(); ++s) {
+        ref_length += references[s].size();
+        hyp_length += hypotheses[s].size();
+        for (std::size_t order = 1; order <= options.maxOrder; ++order) {
+            const auto ref_counts = ngramCounts(references[s], order);
+            const auto hyp_counts = ngramCounts(hypotheses[s], order);
+            for (const auto &[gram, count] : hyp_counts) {
+                totals[order - 1] += count;
+                auto it = ref_counts.find(gram);
+                if (it != ref_counts.end())
+                    matches[order - 1] += std::min(count, it->second);
+            }
+        }
+    }
+
+    double log_precision = 0.0;
+    for (std::size_t order = 0; order < options.maxOrder; ++order) {
+        double num = static_cast<double>(matches[order]);
+        double den = static_cast<double>(totals[order]);
+        if (options.smooth) {
+            num += 1.0;
+            den += 1.0;
+        }
+        if (num <= 0.0 || den <= 0.0)
+            return 0.0;
+        log_precision += std::log(num / den);
+    }
+    log_precision /= static_cast<double>(options.maxOrder);
+
+    double brevity = 1.0;
+    if (hyp_length == 0)
+        return 0.0;
+    if (hyp_length < ref_length) {
+        brevity = std::exp(1.0 - static_cast<double>(ref_length) /
+                                     static_cast<double>(hyp_length));
+    }
+    return 100.0 * brevity * std::exp(log_precision);
+}
+
+double
+sentenceBleu(const TokenSeq &reference, const TokenSeq &hypothesis,
+             const BleuOptions &options)
+{
+    const TokenSeq refs[] = {reference};
+    const TokenSeq hyps[] = {hypothesis};
+    return corpusBleu(refs, hyps, options);
+}
+
+} // namespace nlfm::metrics

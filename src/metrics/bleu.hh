@@ -1,0 +1,43 @@
+/**
+ * @file
+ * BLEU score (Papineni et al.) — the paper's metric for the MNMT
+ * machine-translation network (Table 1, "29.8 Bleu").
+ */
+
+#ifndef NLFM_METRICS_BLEU_HH
+#define NLFM_METRICS_BLEU_HH
+
+#include <span>
+
+#include "metrics/edit_distance.hh"
+
+namespace nlfm::metrics
+{
+
+/** BLEU configuration. */
+struct BleuOptions
+{
+    /** Max n-gram order (standard BLEU-4). */
+    std::size_t maxOrder = 4;
+    /**
+     * Add-one smoothing on n-gram precisions (Lin & Och smoothing-1);
+     * without it, one empty precision zeroes the score on the short
+     * synthetic corpora used here.
+     */
+    bool smooth = true;
+};
+
+/**
+ * Corpus BLEU in [0, 100] of @p hypotheses against single references.
+ */
+double corpusBleu(std::span<const TokenSeq> references,
+                  std::span<const TokenSeq> hypotheses,
+                  const BleuOptions &options = {});
+
+/** Sentence BLEU (single pair), same scale. */
+double sentenceBleu(const TokenSeq &reference, const TokenSeq &hypothesis,
+                    const BleuOptions &options = {});
+
+} // namespace nlfm::metrics
+
+#endif // NLFM_METRICS_BLEU_HH

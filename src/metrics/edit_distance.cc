@@ -1,0 +1,77 @@
+#include "metrics/edit_distance.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::metrics
+{
+
+std::size_t
+editDistance(std::span<const std::int32_t> a,
+             std::span<const std::int32_t> b)
+{
+    // Two-row dynamic program.
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    std::vector<std::size_t> prev(m + 1);
+    std::vector<std::size_t> curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+        }
+        prev.swap(curr);
+    }
+    return prev[m];
+}
+
+double
+wordErrorRate(std::span<const std::int32_t> reference,
+              std::span<const std::int32_t> hypothesis)
+{
+    const std::size_t edits = editDistance(reference, hypothesis);
+    const std::size_t denom = std::max<std::size_t>(reference.size(), 1);
+    return static_cast<double>(edits) / static_cast<double>(denom);
+}
+
+double
+corpusWordErrorRate(std::span<const TokenSeq> references,
+                    std::span<const TokenSeq> hypotheses)
+{
+    nlfm_assert(references.size() == hypotheses.size(),
+                "corpus WER: sequence count mismatch");
+    std::size_t edits = 0;
+    std::size_t length = 0;
+    for (std::size_t i = 0; i < references.size(); ++i) {
+        edits += editDistance(references[i], hypotheses[i]);
+        length += references[i].size();
+    }
+    return static_cast<double>(edits) /
+           static_cast<double>(std::max<std::size_t>(length, 1));
+}
+
+TokenSeq
+collapseCtc(std::span<const std::int32_t> frames, std::int32_t blank)
+{
+    TokenSeq out;
+    std::int32_t last = blank;
+    for (std::int32_t token : frames) {
+        if (token != last && token != blank)
+            out.push_back(token);
+        last = token;
+    }
+    return out;
+}
+
+} // namespace nlfm::metrics

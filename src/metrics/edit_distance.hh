@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Levenshtein edit distance and word error rate.
+ *
+ * WER is the paper's accuracy metric for the two speech networks
+ * (DeepSpeech2 and EESEN, Table 1). Our drift evaluators score the
+ * memoized network's decoded token stream against the baseline
+ * network's decode — see DESIGN.md §3.
+ */
+
+#ifndef NLFM_METRICS_EDIT_DISTANCE_HH
+#define NLFM_METRICS_EDIT_DISTANCE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nlfm::metrics
+{
+
+/** Token sequence (token ids). */
+using TokenSeq = std::vector<std::int32_t>;
+
+/**
+ * Levenshtein distance (unit-cost insert/delete/substitute) between two
+ * token sequences.
+ */
+std::size_t editDistance(std::span<const std::int32_t> a,
+                         std::span<const std::int32_t> b);
+
+/**
+ * Word error rate of @p hypothesis against @p reference:
+ * edits / max(1, |reference|). Not clamped — WER can exceed 1.
+ */
+double wordErrorRate(std::span<const std::int32_t> reference,
+                     std::span<const std::int32_t> hypothesis);
+
+/**
+ * Corpus-level WER: total edits over total reference length (the
+ * standard aggregation, robust to short utterances).
+ */
+double corpusWordErrorRate(std::span<const TokenSeq> references,
+                           std::span<const TokenSeq> hypotheses);
+
+/**
+ * CTC-style greedy collapse: merge consecutive repeats, then drop
+ * @p blank tokens. Mirrors greedy decoding of speech models, where small
+ * logit perturbations move token boundaries.
+ */
+TokenSeq collapseCtc(std::span<const std::int32_t> frames,
+                     std::int32_t blank);
+
+} // namespace nlfm::metrics
+
+#endif // NLFM_METRICS_EDIT_DISTANCE_HH

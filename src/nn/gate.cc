@@ -1,0 +1,80 @@
+#include "nn/gate.hh"
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm::nn
+{
+
+float
+evaluateNeuron(const GateParams &params, std::size_t neuron,
+               std::span<const float> x, std::span<const float> h)
+{
+    return tensor::dot(params.wx.row(neuron), x) +
+           tensor::dot(params.wh.row(neuron), h);
+}
+
+void
+DirectEvaluator::evaluateGate(const GateInstance &instance,
+                              const GateParams &params,
+                              std::span<const float> x,
+                              std::span<const float> h,
+                              std::span<float> preact)
+{
+    nlfm_assert(preact.size() == instance.neurons,
+                "preact size mismatch for gate instance ",
+                instance.instanceId);
+    parallelFor(instance.neurons, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t n = begin; n < end; ++n)
+            preact[n] = evaluateNeuron(params, n, x, h);
+    });
+}
+
+const char *
+gateName(CellType type, std::size_t g)
+{
+    if (type == CellType::Lstm) {
+        switch (g) {
+          case LstmInput: return "input";
+          case LstmForget: return "forget";
+          case LstmUpdate: return "update";
+          case LstmOutput: return "output";
+          default: break;
+        }
+    } else {
+        switch (g) {
+          case GruUpdate: return "update";
+          case GruReset: return "reset";
+          case GruCandidate: return "candidate";
+          default: break;
+        }
+    }
+    nlfm_panic("bad gate index ", g);
+}
+
+std::size_t
+RnnConfig::totalWeights() const
+{
+    std::size_t total = 0;
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        const std::size_t x_size = layerInputSize(layer);
+        const std::size_t per_gate = hiddenSize * (x_size + hiddenSize);
+        total += directions() * gateCount(cellType) * per_gate;
+    }
+    return total;
+}
+
+std::string
+RnnConfig::describe() const
+{
+    std::string text = cellType == CellType::Lstm ? "LSTM" : "GRU";
+    if (bidirectional)
+        text = "Bi" + text;
+    text += " layers=" + std::to_string(layers);
+    text += " hidden=" + std::to_string(hiddenSize);
+    text += " input=" + std::to_string(inputSize);
+    return text;
+}
+
+} // namespace nlfm::nn

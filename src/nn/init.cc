@@ -1,0 +1,52 @@
+#include "nn/init.hh"
+
+#include <cmath>
+
+namespace nlfm::nn
+{
+
+void
+initGate(GateParams &params, Rng &rng, const InitOptions &options)
+{
+    const double scale_x =
+        options.gain / std::sqrt(static_cast<double>(params.xSize()));
+    const double scale_h =
+        options.gain / std::sqrt(static_cast<double>(params.hSize()));
+    const double d = options.magnitudeDispersion;
+
+    auto draw = [&](double scale) {
+        const double g = rng.normal();
+        const double sign = g >= 0.0 ? 1.0 : -1.0;
+        const double magnitude = (1.0 - d) + d * std::fabs(g);
+        return static_cast<float>(sign * scale * magnitude);
+    };
+
+    for (std::size_t n = 0; n < params.neurons(); ++n) {
+        for (auto &weight : params.wx.row(n))
+            weight = draw(scale_x);
+        for (auto &weight : params.wh.row(n))
+            weight = draw(scale_h);
+    }
+    for (auto &bias : params.bias)
+        bias = 0.f;
+    for (auto &peephole : params.peephole)
+        peephole = static_cast<float>(rng.normal(0.0,
+                                                 options.peepholeScale));
+}
+
+void
+initNetwork(RnnNetwork &network, Rng &rng, const InitOptions &options)
+{
+    const bool lstm = network.config().cellType == CellType::Lstm;
+    for (const auto &inst : network.gateInstances()) {
+        Rng stream = rng.fork(inst.instanceId);
+        GateParams &params = network.gateParams(inst.instanceId);
+        initGate(params, stream, options);
+        if (lstm && inst.gate == LstmForget) {
+            for (auto &bias : params.bias)
+                bias = static_cast<float>(options.forgetBias);
+        }
+    }
+}
+
+} // namespace nlfm::nn

@@ -1,0 +1,111 @@
+#include "nn/lstm_cell.hh"
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+
+namespace nlfm::nn
+{
+
+void
+CellState::reset()
+{
+    std::fill(h.begin(), h.end(), 0.f);
+    std::fill(c.begin(), c.end(), 0.f);
+}
+
+RnnCell::RnnCell(std::size_t x_size, std::size_t hidden)
+    : xSize_(x_size), hidden_(hidden)
+{
+    nlfm_assert(x_size > 0 && hidden > 0, "empty cell dimensions");
+}
+
+GateParams &
+RnnCell::gate(std::size_t g)
+{
+    nlfm_assert(g < gates_.size(), "gate index out of range");
+    return gates_[g];
+}
+
+const GateParams &
+RnnCell::gate(std::size_t g) const
+{
+    nlfm_assert(g < gates_.size(), "gate index out of range");
+    return gates_[g];
+}
+
+void
+RnnCell::setInstances(std::vector<GateInstance> instances)
+{
+    nlfm_assert(instances.size() == gates_.size(),
+                "one instance per gate required");
+    instances_ = std::move(instances);
+}
+
+LstmCell::LstmCell(std::size_t x_size, std::size_t hidden, bool peepholes)
+    : RnnCell(x_size, hidden), peepholes_(peepholes)
+{
+    gates_.resize(4);
+    for (std::size_t g = 0; g < 4; ++g) {
+        auto &gate = gates_[g];
+        gate.wx = tensor::Matrix(hidden, x_size);
+        gate.wh = tensor::Matrix(hidden, hidden);
+        gate.bias.assign(hidden, 0.f);
+        // The update gate (Eq. 3) has no peephole; neither does any gate
+        // when peepholes are disabled.
+        if (peepholes_ && g != LstmUpdate)
+            gate.peephole.assign(hidden, 0.f);
+    }
+    for (auto &buffer : preact_)
+        buffer.assign(hidden, 0.f);
+}
+
+CellState
+LstmCell::makeState() const
+{
+    CellState state;
+    state.h.assign(hidden_, 0.f);
+    state.c.assign(hidden_, 0.f);
+    return state;
+}
+
+void
+LstmCell::step(std::span<const float> x, CellState &state,
+               GateEvaluator &eval)
+{
+    nlfm_assert(x.size() == xSize_, "LSTM step: x width mismatch");
+    nlfm_assert(state.h.size() == hidden_ && state.c.size() == hidden_,
+                "LSTM step: state shape mismatch");
+    nlfm_assert(instances_.size() == 4, "cell instances not assigned");
+
+    // All four gates read (x_t, h_{t-1}); E-PUR evaluates them
+    // concurrently on its four CUs (§3.3.1).
+    for (std::size_t g = 0; g < 4; ++g)
+        eval.evaluateGate(instances_[g], gates_[g], x, state.h, preact_[g]);
+
+    for (std::size_t n = 0; n < hidden_; ++n) {
+        const float c_prev = state.c[n];
+
+        float zi = preact_[LstmInput][n] + gates_[LstmInput].bias[n];
+        float zf = preact_[LstmForget][n] + gates_[LstmForget].bias[n];
+        if (peepholes_) {
+            zi += gates_[LstmInput].peephole[n] * c_prev;
+            zf += gates_[LstmForget].peephole[n] * c_prev;
+        }
+        const float i_t = sigmoid(zi);
+        const float f_t = sigmoid(zf);
+        const float g_t =
+            tanhAct(preact_[LstmUpdate][n] + gates_[LstmUpdate].bias[n]);
+
+        const float c_t = f_t * c_prev + i_t * g_t;
+
+        float zo = preact_[LstmOutput][n] + gates_[LstmOutput].bias[n];
+        if (peepholes_)
+            zo += gates_[LstmOutput].peephole[n] * c_t;
+        const float o_t = sigmoid(zo);
+
+        state.c[n] = c_t;
+        state.h[n] = o_t * tanhAct(c_t);
+    }
+}
+
+} // namespace nlfm::nn

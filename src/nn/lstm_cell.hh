@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LSTM cell with peephole connections (paper §2.1.2, Eqs. 1-6).
+ */
+
+#ifndef NLFM_NN_LSTM_CELL_HH
+#define NLFM_NN_LSTM_CELL_HH
+
+#include <span>
+#include <vector>
+
+#include "nn/gate.hh"
+
+namespace nlfm::nn
+{
+
+/** Recurrent state carried between timesteps. */
+struct CellState
+{
+    std::vector<float> h; ///< hidden/output vector h_t
+    std::vector<float> c; ///< cell state c_t (LSTM only; empty for GRU)
+
+    /** Zero the state (start of a sequence). */
+    void reset();
+};
+
+/**
+ * Common base for the two cell families.
+ *
+ * A cell owns the parameters of its gates plus the GateInstance identities
+ * assigned by the enclosing network, and computes one timestep through a
+ * caller-supplied GateEvaluator.
+ */
+class RnnCell
+{
+  public:
+    RnnCell(std::size_t x_size, std::size_t hidden);
+    virtual ~RnnCell() = default;
+
+    RnnCell(const RnnCell &) = delete;
+    RnnCell &operator=(const RnnCell &) = delete;
+
+    std::size_t xSize() const { return xSize_; }
+    std::size_t hiddenSize() const { return hidden_; }
+
+    virtual CellType type() const = 0;
+    std::size_t gateCount() const { return gates_.size(); }
+
+    GateParams &gate(std::size_t g);
+    const GateParams &gate(std::size_t g) const;
+
+    /** Assign network-level identities; one per gate. */
+    void setInstances(std::vector<GateInstance> instances);
+    const std::vector<GateInstance> &instances() const { return instances_; }
+
+    /** Allocate a zeroed state of the right shape. */
+    virtual CellState makeState() const = 0;
+
+    /** Advance one timestep: consume x, update state in place. */
+    virtual void step(std::span<const float> x, CellState &state,
+                      GateEvaluator &eval) = 0;
+
+  protected:
+    std::size_t xSize_;
+    std::size_t hidden_;
+    std::vector<GateParams> gates_;
+    std::vector<GateInstance> instances_;
+};
+
+/**
+ * Peephole LSTM (Gers & Schmidhuber [13]):
+ *
+ *   i_t = sigma(Wix x_t + Wih h_{t-1} + pi . c_{t-1} + bi)   (Eq. 1)
+ *   f_t = sigma(Wfx x_t + Wfh h_{t-1} + pf . c_{t-1} + bf)   (Eq. 2)
+ *   g_t = phi  (Wgx x_t + Wgh h_{t-1}               + bg)    (Eq. 3)
+ *   c_t = f_t . c_{t-1} + i_t . g_t                          (Eq. 4)
+ *   o_t = sigma(Wox x_t + Woh h_{t-1} + po . c_t    + bo)    (Eq. 5)
+ *   h_t = o_t . phi(c_t)                                     (Eq. 6)
+ *
+ * With peepholes disabled the pi/pf/po terms vanish. The GateEvaluator
+ * supplies only the two dot products per neuron; bias, peephole and
+ * activation model E-PUR's MU and always execute.
+ */
+class LstmCell : public RnnCell
+{
+  public:
+    LstmCell(std::size_t x_size, std::size_t hidden, bool peepholes);
+
+    CellType type() const override { return CellType::Lstm; }
+    bool hasPeepholes() const { return peepholes_; }
+
+    CellState makeState() const override;
+
+    void step(std::span<const float> x, CellState &state,
+              GateEvaluator &eval) override;
+
+  private:
+    bool peepholes_;
+    // Per-step scratch: pre-activations of the four gates.
+    std::vector<float> preact_[4];
+};
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_LSTM_CELL_HH

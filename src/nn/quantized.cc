@@ -1,0 +1,48 @@
+#include "nn/quantized.hh"
+
+#include "common/half.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace nlfm::nn
+{
+
+namespace
+{
+
+float
+dotFp16(std::span<const float> weights, std::span<const float> values)
+{
+    float acc = 0.f;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        acc += quantizeToHalf(weights[i]) * quantizeToHalf(values[i]);
+    return acc;
+}
+
+} // namespace
+
+float
+evaluateNeuronFp16(const GateParams &params, std::size_t neuron,
+                   std::span<const float> x, std::span<const float> h)
+{
+    const float sum = dotFp16(params.wx.row(neuron), x) +
+                      dotFp16(params.wh.row(neuron), h);
+    return quantizeToHalf(sum);
+}
+
+void
+Fp16Evaluator::evaluateGate(const GateInstance &instance,
+                            const GateParams &params,
+                            std::span<const float> x,
+                            std::span<const float> h,
+                            std::span<float> preact)
+{
+    nlfm_assert(preact.size() == instance.neurons,
+                "preact size mismatch in fp16 evaluator");
+    parallelFor(instance.neurons, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t n = begin; n < end; ++n)
+            preact[n] = evaluateNeuronFp16(params, n, x, h);
+    });
+}
+
+} // namespace nlfm::nn

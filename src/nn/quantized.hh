@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FP16-quantized gate evaluation.
+ *
+ * E-PUR computes in 16-bit floating point (paper §3.3.1); the default
+ * DirectEvaluator uses float32 for speed. Fp16Evaluator rounds every
+ * weight and input through IEEE binary16 and quantizes the accumulated
+ * dot product, exposing the accelerator's numeric behaviour so the
+ * memoization results can be checked against the datapath precision.
+ */
+
+#ifndef NLFM_NN_QUANTIZED_HH
+#define NLFM_NN_QUANTIZED_HH
+
+#include "nn/gate.hh"
+
+namespace nlfm::nn
+{
+
+/**
+ * Gate evaluator that mimics an FP16 datapath: operands are quantized
+ * to binary16 before each multiply and the final sum is re-quantized.
+ * (Products are accumulated in single precision, matching accelerators
+ * that keep a wide accumulator.)
+ */
+class Fp16Evaluator : public GateEvaluator
+{
+  public:
+    void evaluateGate(const GateInstance &instance,
+                      const GateParams &params, std::span<const float> x,
+                      std::span<const float> h,
+                      std::span<float> preact) override;
+};
+
+/**
+ * One neuron's pre-activation through the FP16 datapath model.
+ */
+float evaluateNeuronFp16(const GateParams &params, std::size_t neuron,
+                         std::span<const float> x,
+                         std::span<const float> h);
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_QUANTIZED_HH

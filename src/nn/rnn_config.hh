@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Structural description of a deep RNN (paper §2.1).
+ */
+
+#ifndef NLFM_NN_RNN_CONFIG_HH
+#define NLFM_NN_RNN_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+namespace nlfm::nn
+{
+
+/** Recurrent cell family. */
+enum class CellType
+{
+    Lstm, ///< Hochreiter & Schmidhuber; 4 gates (i, f, g, o), Eqs. 1-6
+    Gru,  ///< Cho et al.; 3 gates (z, r, g)
+};
+
+/** Number of fully-connected gates in a cell of the given type. */
+constexpr std::size_t
+gateCount(CellType type)
+{
+    return type == CellType::Lstm ? 4 : 3;
+}
+
+/** Human-readable short name of gate @p g for the given cell type. */
+const char *gateName(CellType type, std::size_t g);
+
+/** LSTM gate indices. */
+enum LstmGate : std::size_t
+{
+    LstmInput = 0,
+    LstmForget = 1,
+    LstmUpdate = 2, ///< candidate g_t, Eq. 3
+    LstmOutput = 3,
+};
+
+/** GRU gate indices. */
+enum GruGate : std::size_t
+{
+    GruUpdate = 0, ///< z_t
+    GruReset = 1,  ///< r_t
+    GruCandidate = 2,
+};
+
+/**
+ * Topology of a deep (optionally bidirectional) RNN.
+ */
+struct RnnConfig
+{
+    CellType cellType = CellType::Lstm;
+    std::size_t inputSize = 0;  ///< width of x_t at the first layer
+    std::size_t hiddenSize = 0; ///< neurons per gate per directional cell
+    std::size_t layers = 1;
+    bool bidirectional = false;
+    bool peepholes = true; ///< LSTM peephole connections [13]
+
+    std::size_t directions() const { return bidirectional ? 2 : 1; }
+
+    /** Input width seen by layer @p layer. */
+    std::size_t
+    layerInputSize(std::size_t layer) const
+    {
+        return layer == 0 ? inputSize : hiddenSize * directions();
+    }
+
+    /** Width of the network's per-timestep output. */
+    std::size_t outputSize() const { return hiddenSize * directions(); }
+
+    /** Total neurons across all layers, directions, and gates. */
+    std::size_t
+    totalNeurons() const
+    {
+        return layers * directions() * gateCount(cellType) * hiddenSize;
+    }
+
+    /** Total weight parameters (forward + recurrent, no bias/peephole). */
+    std::size_t totalWeights() const;
+
+    std::string describe() const;
+};
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_RNN_CONFIG_HH

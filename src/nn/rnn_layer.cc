@@ -1,0 +1,71 @@
+#include "nn/rnn_layer.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::nn
+{
+
+RnnLayer::RnnLayer(const RnnConfig &config, std::size_t layer_index)
+    : layerIndex_(layer_index),
+      inputSize_(config.layerInputSize(layer_index)),
+      hidden_(config.hiddenSize)
+{
+    for (std::size_t dir = 0; dir < config.directions(); ++dir) {
+        if (config.cellType == CellType::Lstm) {
+            cells_.push_back(std::make_unique<LstmCell>(
+                inputSize_, hidden_, config.peepholes));
+        } else {
+            cells_.push_back(std::make_unique<GruCell>(inputSize_, hidden_));
+        }
+    }
+}
+
+std::size_t
+RnnLayer::outputSize() const
+{
+    return hidden_ * cells_.size();
+}
+
+RnnCell &
+RnnLayer::cell(std::size_t direction)
+{
+    nlfm_assert(direction < cells_.size(), "direction out of range");
+    return *cells_[direction];
+}
+
+const RnnCell &
+RnnLayer::cell(std::size_t direction) const
+{
+    nlfm_assert(direction < cells_.size(), "direction out of range");
+    return *cells_[direction];
+}
+
+void
+RnnLayer::forward(const Sequence &inputs, GateEvaluator &eval,
+                  Sequence &outputs)
+{
+    const std::size_t steps = inputs.size();
+    outputs.assign(steps, std::vector<float>(outputSize(), 0.f));
+
+    // Forward direction.
+    CellState state = cells_[0]->makeState();
+    for (std::size_t t = 0; t < steps; ++t) {
+        nlfm_assert(inputs[t].size() == inputSize_,
+                    "layer input width mismatch at step ", t);
+        cells_[0]->step(inputs[t], state, eval);
+        std::copy(state.h.begin(), state.h.end(), outputs[t].begin());
+    }
+
+    // Backward direction (bidirectional layers).
+    if (cells_.size() == 2) {
+        CellState back = cells_[1]->makeState();
+        for (std::size_t s = 0; s < steps; ++s) {
+            const std::size_t t = steps - 1 - s;
+            cells_[1]->step(inputs[t], back, eval);
+            std::copy(back.h.begin(), back.h.end(),
+                      outputs[t].begin() + static_cast<long>(hidden_));
+        }
+    }
+}
+
+} // namespace nlfm::nn

@@ -1,0 +1,103 @@
+#include "nn/rnn_network.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::nn
+{
+
+RnnNetwork::RnnNetwork(const RnnConfig &config) : config_(config)
+{
+    nlfm_assert(config.inputSize > 0 && config.hiddenSize > 0 &&
+                    config.layers > 0,
+                "invalid RNN configuration: ", config.describe());
+
+    layers_.reserve(config.layers);
+    for (std::size_t l = 0; l < config.layers; ++l)
+        layers_.emplace_back(config, l);
+
+    // Enumerate gate instances: layer-major, then direction, then gate.
+    std::size_t instance_id = 0;
+    std::size_t neuron_base = 0;
+    std::size_t cell_id = 0;
+    for (std::size_t l = 0; l < config.layers; ++l) {
+        for (std::size_t dir = 0; dir < config.directions(); ++dir) {
+            RnnCell &cell = layers_[l].cell(dir);
+            std::vector<GateInstance> cell_instances;
+            for (std::size_t g = 0; g < cell.gateCount(); ++g) {
+                GateInstance inst;
+                inst.instanceId = instance_id++;
+                inst.layer = l;
+                inst.direction = dir;
+                inst.cellId = cell_id;
+                inst.gate = g;
+                inst.neurons = config.hiddenSize;
+                inst.xSize = cell.gate(g).xSize();
+                inst.hSize = cell.gate(g).hSize();
+                inst.neuronBase = neuron_base;
+                neuron_base += inst.neurons;
+                instances_.push_back(inst);
+                paramRefs_.push_back({l, dir, g});
+                cell_instances.push_back(inst);
+            }
+            cell.setInstances(std::move(cell_instances));
+            ++cell_id;
+        }
+    }
+    totalNeurons_ = neuron_base;
+    nlfm_assert(totalNeurons_ == config.totalNeurons(),
+                "neuron enumeration disagrees with config arithmetic");
+}
+
+RnnLayer &
+RnnNetwork::layer(std::size_t index)
+{
+    nlfm_assert(index < layers_.size(), "layer index out of range");
+    return layers_[index];
+}
+
+const RnnLayer &
+RnnNetwork::layer(std::size_t index) const
+{
+    nlfm_assert(index < layers_.size(), "layer index out of range");
+    return layers_[index];
+}
+
+const GateParams &
+RnnNetwork::gateParams(std::size_t instance_id) const
+{
+    nlfm_assert(instance_id < paramRefs_.size(),
+                "gate instance out of range");
+    const ParamRef &ref = paramRefs_[instance_id];
+    return layers_[ref.layer].cell(ref.direction).gate(ref.gate);
+}
+
+GateParams &
+RnnNetwork::gateParams(std::size_t instance_id)
+{
+    nlfm_assert(instance_id < paramRefs_.size(),
+                "gate instance out of range");
+    const ParamRef &ref = paramRefs_[instance_id];
+    return layers_[ref.layer].cell(ref.direction).gate(ref.gate);
+}
+
+Sequence
+RnnNetwork::forward(const Sequence &inputs, GateEvaluator &eval)
+{
+    eval.beginSequence();
+    Sequence current = inputs;
+    Sequence next;
+    for (auto &stack_layer : layers_) {
+        stack_layer.forward(current, eval, next);
+        current.swap(next);
+    }
+    return current;
+}
+
+Sequence
+RnnNetwork::forwardBaseline(const Sequence &inputs)
+{
+    DirectEvaluator eval;
+    return forward(inputs, eval);
+}
+
+} // namespace nlfm::nn

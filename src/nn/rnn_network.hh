@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deep RNN: a stack of (optionally bidirectional) recurrent layers with a
+ * network-wide enumeration of gate instances and flat neuron indices.
+ */
+
+#ifndef NLFM_NN_RNN_NETWORK_HH
+#define NLFM_NN_RNN_NETWORK_HH
+
+#include <vector>
+
+#include "nn/rnn_layer.hh"
+
+namespace nlfm::nn
+{
+
+/**
+ * Stacked deep RNN (paper §2.1.1).
+ *
+ * Construction enumerates every gate in the network into a flat
+ * GateInstance table; instanceId indexes that table and
+ * neuronBase + n gives every neuron a global index. Both are the keys
+ * used by the memoization engine and the accelerator model.
+ */
+class RnnNetwork
+{
+  public:
+    explicit RnnNetwork(const RnnConfig &config);
+
+    RnnNetwork(const RnnNetwork &) = delete;
+    RnnNetwork &operator=(const RnnNetwork &) = delete;
+
+    const RnnConfig &config() const { return config_; }
+
+    std::size_t layerCount() const { return layers_.size(); }
+    RnnLayer &layer(std::size_t index);
+    const RnnLayer &layer(std::size_t index) const;
+
+    /** All gate instances, indexed by GateInstance::instanceId. */
+    const std::vector<GateInstance> &gateInstances() const
+    {
+        return instances_;
+    }
+
+    /** Parameters of the gate identified by @p instance_id. */
+    const GateParams &gateParams(std::size_t instance_id) const;
+    GateParams &gateParams(std::size_t instance_id);
+
+    /** Total number of neurons across all gate instances. */
+    std::size_t totalNeurons() const { return totalNeurons_; }
+
+    /**
+     * Run a full sequence through the stack. Returns the top layer's
+     * per-timestep outputs (width config().outputSize()).
+     *
+     * Calls eval.beginSequence() first, so a memoizing evaluator starts
+     * from a cold table for each sequence.
+     */
+    Sequence forward(const Sequence &inputs, GateEvaluator &eval);
+
+    /** Convenience: forward with the exact full-precision evaluator. */
+    Sequence forwardBaseline(const Sequence &inputs);
+
+  private:
+    RnnConfig config_;
+    std::vector<RnnLayer> layers_;
+    std::vector<GateInstance> instances_;
+    // instanceId -> (layer, direction, gate) for parameter lookup.
+    struct ParamRef { std::size_t layer, direction, gate; };
+    std::vector<ParamRef> paramRefs_;
+    std::size_t totalNeurons_ = 0;
+};
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_RNN_NETWORK_HH

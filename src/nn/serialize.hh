@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary serialization of network weights.
+ *
+ * The paper's flow evaluates pretrained checkpoints; this gives the
+ * library the equivalent capability: train (or synthesize) once, save,
+ * and reload for inference/memoization experiments. The format is a
+ * versioned little-endian dump: header (magic, version, topology)
+ * followed by each gate's wx, wh, bias and peephole arrays in
+ * instanceId order.
+ */
+
+#ifndef NLFM_NN_SERIALIZE_HH
+#define NLFM_NN_SERIALIZE_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/rnn_network.hh"
+
+namespace nlfm::nn
+{
+
+/** Write the network's topology and weights to @p path (fatal on IO
+ *  failure). */
+void saveNetwork(const RnnNetwork &network, const std::string &path);
+
+/**
+ * Reconstruct a network from @p path; fatal on IO failure, bad magic,
+ * or version/shape mismatch.
+ */
+std::unique_ptr<RnnNetwork> loadNetwork(const std::string &path);
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_SERIALIZE_HH

@@ -1,0 +1,134 @@
+#include "tensor/bitpack.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nlfm::tensor
+{
+
+BitVector::BitVector(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0)
+{
+}
+
+BitVector
+BitVector::fromFloats(std::span<const float> values)
+{
+    BitVector out(values.size());
+    out.assignFromFloats(values);
+    return out;
+}
+
+void
+BitVector::assignFromFloats(std::span<const float> values)
+{
+    nlfm_assert(values.size() == size_,
+                "assignFromFloats: size mismatch ", values.size(), " vs ",
+                size_);
+    std::uint64_t word = 0;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (values[i] >= 0.f)
+            word |= (std::uint64_t{1} << (i & 63));
+        if ((i & 63) == 63) {
+            words_[w++] = word;
+            word = 0;
+        }
+    }
+    if (size_ & 63)
+        words_[w] = word;
+}
+
+void
+BitVector::assignConcat(std::span<const float> a, std::span<const float> b)
+{
+    nlfm_assert(a.size() + b.size() == size_,
+                "assignConcat: size mismatch ", a.size(), "+", b.size(),
+                " vs ", size_);
+    std::uint64_t word = 0;
+    std::size_t w = 0;
+    std::size_t i = 0;
+    auto feed = [&](std::span<const float> values) {
+        for (float value : values) {
+            if (value >= 0.f)
+                word |= (std::uint64_t{1} << (i & 63));
+            if ((i & 63) == 63) {
+                words_[w++] = word;
+                word = 0;
+            }
+            ++i;
+        }
+    };
+    feed(a);
+    feed(b);
+    if (size_ & 63)
+        words_[w] = word;
+}
+
+int
+BitVector::get(std::size_t i) const
+{
+    nlfm_assert(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1 ? +1 : -1;
+}
+
+void
+BitVector::set(std::size_t i, bool positive)
+{
+    nlfm_assert(i < size_, "bit index out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (positive)
+        words_[i >> 6] |= mask;
+    else
+        words_[i >> 6] &= ~mask;
+}
+
+int
+bnnDot(const BitVector &a, const BitVector &b)
+{
+    nlfm_assert(a.size_ == b.size_, "bnnDot: size mismatch ", a.size_,
+                " vs ", b.size_);
+    // Padding bits are zero in both vectors, so they XOR to zero and do
+    // not contribute mismatches.
+    std::size_t mismatches = 0;
+    for (std::size_t w = 0; w < a.words_.size(); ++w)
+        mismatches += std::popcount(a.words_[w] ^ b.words_[w]);
+    const auto n = static_cast<long>(a.size_);
+    return static_cast<int>(n - 2 * static_cast<long>(mismatches));
+}
+
+int
+bnnDotNaive(std::span<const float> a, std::span<const float> b)
+{
+    nlfm_assert(a.size() == b.size(), "bnnDotNaive: size mismatch");
+    int acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const int sa = a[i] >= 0.f ? 1 : -1;
+        const int sb = b[i] >= 0.f ? 1 : -1;
+        acc += sa * sb;
+    }
+    return acc;
+}
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), rowsData_(rows, BitVector(cols))
+{
+}
+
+void
+BitMatrix::setRow(std::size_t r, std::span<const float> weights)
+{
+    nlfm_assert(r < rows_, "BitMatrix row out of range");
+    nlfm_assert(weights.size() == cols_, "BitMatrix setRow width mismatch");
+    rowsData_[r].assignFromFloats(weights);
+}
+
+const BitVector &
+BitMatrix::row(std::size_t r) const
+{
+    nlfm_assert(r < rows_, "BitMatrix row out of range");
+    return rowsData_[r];
+}
+
+} // namespace nlfm::tensor

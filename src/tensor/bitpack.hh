@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Packed ±1 bit-vectors and the XNOR-popcount dot product (paper Eq. 8).
+ *
+ * A BNN operand is a vector whose elements are +1 or -1 (Eq. 7:
+ * `xb = +1 if x >= 0 else -1`). We store one bit per element
+ * (1 ⇔ +1, 0 ⇔ -1) in 64-bit words. For two packed vectors of length N:
+ *
+ *     matches    = popcount(~(a ^ b)) over the N valid bits
+ *     mismatches = N - matches
+ *     dot        = matches - mismatches = N - 2 * popcount(a ^ b)
+ *
+ * which is exactly the integer the paper's BDPU computes with XNORs and an
+ * adder tree (§3.1.2, §3.3.2). The tail of the last word is kept zeroed in
+ * both operands so XOR over padding contributes no mismatches.
+ */
+
+#ifndef NLFM_TENSOR_BITPACK_HH
+#define NLFM_TENSOR_BITPACK_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nlfm::tensor
+{
+
+/** Packed vector of ±1 values (1 bit per element). */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** All-(-1) vector of @p size elements. */
+    explicit BitVector(std::size_t size);
+
+    /** Binarize a float vector per Eq. 7 (>= 0 maps to +1). */
+    static BitVector fromFloats(std::span<const float> values);
+
+    std::size_t size() const { return size_; }
+    std::size_t words() const { return words_.size(); }
+
+    /** Sign of element @p i as ±1. */
+    int get(std::size_t i) const;
+
+    /** Set element @p i to +1 (@p positive) or -1. */
+    void set(std::size_t i, bool positive);
+
+    /**
+     * Re-binarize in place from @p values without reallocating
+     * (the per-timestep input refresh on the accelerator).
+     */
+    void assignFromFloats(std::span<const float> values);
+
+    /**
+     * Binarize the concatenation [a; b] in place; size() must equal
+     * a.size() + b.size(). Models the FMU input vector, which is "the
+     * concatenation of the forward (xt) and the recurrent connections
+     * (ht-1)" (paper §3.3.2).
+     */
+    void assignConcat(std::span<const float> a, std::span<const float> b);
+
+    std::span<const std::uint64_t> raw() const { return words_; }
+
+  private:
+    friend int bnnDot(const BitVector &a, const BitVector &b);
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * BNN dot product of two packed ±1 vectors: sum_i a_i * b_i, an integer in
+ * [-N, N] with the same parity as N.
+ */
+int bnnDot(const BitVector &a, const BitVector &b);
+
+/**
+ * Reference implementation: binarize both float vectors and compute the
+ * ±1 dot product with a scalar loop. Used by tests and by the
+ * `ablation_bnn_width` bench as the naive baseline.
+ */
+int bnnDotNaive(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Matrix of packed rows: the sign-buffer image of a gate weight matrix
+ * (paper §3.3.2 splits E-PUR's weight buffer into sign + magnitude).
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** Binarize each row of a dense float matrix given as row spans. */
+    BitMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Binarize and store row @p r from float weights. */
+    void setRow(std::size_t r, std::span<const float> weights);
+
+    const BitVector &row(std::size_t r) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<BitVector> rowsData_;
+};
+
+} // namespace nlfm::tensor
+
+#endif // NLFM_TENSOR_BITPACK_HH

@@ -1,0 +1,66 @@
+#include "tensor/matrix.hh"
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm::tensor
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.f)
+{
+}
+
+float &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    nlfm_assert(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    nlfm_assert(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+std::span<float>
+Matrix::row(std::size_t r)
+{
+    nlfm_assert(r < rows_, "matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float>
+Matrix::row(std::size_t r) const
+{
+    nlfm_assert(r < rows_, "matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+void
+Matrix::matvec(std::span<const float> x, std::span<float> out) const
+{
+    nlfm_assert(x.size() == cols_, "matvec: x size ", x.size(), " != cols ",
+                cols_);
+    nlfm_assert(out.size() == rows_, "matvec: out size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = dot(row(r), x);
+}
+
+void
+Matrix::matvecTransposeAccum(std::span<const float> g,
+                             std::span<float> out) const
+{
+    nlfm_assert(g.size() == rows_, "matvecT: g size mismatch");
+    nlfm_assert(out.size() == cols_, "matvecT: out size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float gr = g[r];
+        if (gr == 0.f)
+            continue;
+        axpy(gr, row(r), out);
+    }
+}
+
+} // namespace nlfm::tensor

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Row-major dense matrix used for gate weight storage.
+ *
+ * Each row holds one neuron's weight vector, matching E-PUR's layout where
+ * the DPU streams one neuron's weights at a time from the weight buffer.
+ */
+
+#ifndef NLFM_TENSOR_MATRIX_HH
+#define NLFM_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nlfm::tensor
+{
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    /** Mutable view of row @p r (one neuron's weights). */
+    std::span<float> row(std::size_t r);
+
+    /** Const view of row @p r. */
+    std::span<const float> row(std::size_t r) const;
+
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+
+    /**
+     * out = this * x (matrix-vector product); out.size() == rows(),
+     * x.size() == cols().
+     */
+    void matvec(std::span<const float> x, std::span<float> out) const;
+
+    /**
+     * out += this^T * g — the transpose product needed by backpropagation.
+     */
+    void matvecTransposeAccum(std::span<const float> g,
+                              std::span<float> out) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace nlfm::tensor
+
+#endif // NLFM_TENSOR_MATRIX_HH

@@ -1,0 +1,98 @@
+#include "tensor/vector_ops.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace nlfm::tensor
+{
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    nlfm_assert(a.size() == b.size(), "dot: size mismatch ", a.size(), " vs ",
+                b.size());
+    // omp simd licenses the reduction reordering (compiled with
+    // -fopenmp-simd, no runtime dependency); results stay deterministic
+    // for a fixed build.
+    const float *pa = a.data();
+    const float *pb = b.data();
+    const std::size_t n = a.size();
+    float acc = 0.f;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < n; ++i)
+        acc += pa[i] * pb[i];
+    return acc;
+}
+
+void
+axpy(float alpha, std::span<const float> x, std::span<float> y)
+{
+    nlfm_assert(x.size() == y.size(), "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+scale(std::span<float> x, float alpha)
+{
+    for (auto &value : x)
+        value *= alpha;
+}
+
+void
+hadamard(std::span<const float> a, std::span<const float> b,
+         std::span<float> out)
+{
+    nlfm_assert(a.size() == b.size() && a.size() == out.size(),
+                "hadamard: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+}
+
+void
+add(std::span<const float> a, std::span<const float> b, std::span<float> out)
+{
+    nlfm_assert(a.size() == b.size() && a.size() == out.size(),
+                "add: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+}
+
+float
+norm2(std::span<const float> x)
+{
+    double acc = 0.0;
+    for (float value : x)
+        acc += static_cast<double>(value) * static_cast<double>(value);
+    return static_cast<float>(std::sqrt(acc));
+}
+
+float
+maxAbs(std::span<const float> x)
+{
+    float best = 0.f;
+    for (float value : x)
+        best = std::max(best, std::fabs(value));
+    return best;
+}
+
+float
+sum(std::span<const float> x)
+{
+    double acc = 0.0;
+    for (float value : x)
+        acc += value;
+    return static_cast<float>(acc);
+}
+
+double
+relativeDifference(double a, double b)
+{
+    if (a == 0.0)
+        return b == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return std::fabs(a - b) / std::fabs(a);
+}
+
+} // namespace nlfm::tensor

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dense float vector kernels.
+ *
+ * These are the numerical primitives behind gate evaluation: dot products
+ * (the DPU's job in E-PUR), axpy/scale/hadamard (the MU's job) and a few
+ * reductions used by the analysis probes.
+ */
+
+#ifndef NLFM_TENSOR_VECTOR_OPS_HH
+#define NLFM_TENSOR_VECTOR_OPS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nlfm::tensor
+{
+
+/** Dense dot product; sizes must match. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** y += alpha * x. */
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/** x *= alpha. */
+void scale(std::span<float> x, float alpha);
+
+/** out = a (element-wise *) b. */
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out);
+
+/** out = a + b. */
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/** Euclidean norm. */
+float norm2(std::span<const float> x);
+
+/** Max |x_i|. */
+float maxAbs(std::span<const float> x);
+
+/** Sum of elements. */
+float sum(std::span<const float> x);
+
+/**
+ * Relative difference |a - b| / |a| with the convention used throughout
+ * the paper's equations (Eq. 9 / Eq. 12): when the reference @p a is zero
+ * the difference is 0 if b is also zero and +infinity otherwise.
+ */
+double relativeDifference(double a, double b);
+
+} // namespace nlfm::tensor
+
+#endif // NLFM_TENSOR_VECTOR_OPS_HH

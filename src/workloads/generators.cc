@@ -1,0 +1,106 @@
+#include "workloads/generators.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nlfm::workloads
+{
+
+nn::Sequence
+generateSpeechFrames(std::size_t steps, const SpeechGenOptions &options,
+                     Rng &rng)
+{
+    nlfm_assert(options.dim > 0, "speech frames need a positive dim");
+    nlfm_assert(options.correlation >= 0.0 && options.correlation < 1.0,
+                "AR(1) coefficient must lie in [0, 1)");
+
+    nn::Sequence frames(steps, std::vector<float>(options.dim, 0.f));
+    std::vector<double> state(options.dim, 0.0);
+    // Innovation scale keeping the AR(1) process at unit variance.
+    const double innovation =
+        std::sqrt(1.0 - options.correlation * options.correlation);
+    // Random phase per dimension for the slow envelope.
+    std::vector<double> phase(options.dim);
+    for (auto &p : phase)
+        p = rng.uniform(0.0, 2.0 * M_PI);
+
+    // Stable per-dimension operating levels (see SpeechGenOptions).
+    std::vector<double> mean(options.dim);
+    for (auto &m : mean)
+        m = rng.normal(0.0, options.meanScale);
+
+    for (std::size_t d = 0; d < options.dim; ++d)
+        state[d] = rng.normal();
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        for (std::size_t d = 0; d < options.dim; ++d) {
+            state[d] = options.correlation * state[d] +
+                       innovation * rng.normal();
+            const double envelope =
+                (1.0 - options.envelopeDepth) +
+                options.envelopeDepth *
+                    std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                 options.envelopePeriod +
+                             phase[d]);
+            frames[t][d] = static_cast<float>(
+                options.scale * envelope * (mean[d] + state[d]));
+        }
+    }
+    return frames;
+}
+
+metrics::TokenSeq
+generateMarkovTokens(std::size_t steps, std::size_t vocab, double self_bias,
+                     Rng &rng)
+{
+    nlfm_assert(vocab >= 2, "vocab too small");
+    nlfm_assert(self_bias >= 0.0 && self_bias < 1.0,
+                "self bias must lie in [0, 1)");
+    metrics::TokenSeq tokens(steps);
+    std::int32_t current =
+        static_cast<std::int32_t>(rng.uniformInt(vocab));
+    for (std::size_t t = 0; t < steps; ++t) {
+        if (rng.uniform() >= self_bias)
+            current = static_cast<std::int32_t>(rng.uniformInt(vocab));
+        tokens[t] = current;
+    }
+    return tokens;
+}
+
+TokenEmbedder::TokenEmbedder(std::size_t vocab, std::size_t dim, Rng &rng,
+                             double shared_mean_scale)
+    : table_(vocab, dim)
+{
+    std::vector<double> mean(dim);
+    for (auto &m : mean)
+        m = rng.normal(0.0, shared_mean_scale);
+    const double scale = 1.0; // token-specific component
+    for (std::size_t v = 0; v < vocab; ++v) {
+        auto row = table_.row(v);
+        for (std::size_t d = 0; d < dim; ++d)
+            row[d] = static_cast<float>(mean[d] + rng.normal(0.0, scale));
+    }
+}
+
+std::span<const float>
+TokenEmbedder::embed(std::int32_t token) const
+{
+    nlfm_assert(token >= 0 &&
+                    static_cast<std::size_t>(token) < table_.rows(),
+                "token out of vocabulary: ", token);
+    return table_.row(static_cast<std::size_t>(token));
+}
+
+nn::Sequence
+TokenEmbedder::embedSequence(const metrics::TokenSeq &tokens) const
+{
+    nn::Sequence out(tokens.size(), std::vector<float>(table_.cols()));
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+        auto row = embed(tokens[t]);
+        std::copy(row.begin(), row.end(), out[t].begin());
+    }
+    return out;
+}
+
+} // namespace nlfm::workloads

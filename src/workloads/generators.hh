@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic input generators (dataset substitutes — DESIGN.md §3).
+ *
+ * The memoization opportunity the paper exploits comes from temporal
+ * similarity of consecutive RNN inputs (§3.1.1, citing Riera et al. [28]
+ * for audio/video frame similarity). These generators manufacture that
+ * property explicitly:
+ *
+ *  - Speech-like frames: per-dimension AR(1) processes with high
+ *    frame-to-frame correlation plus a slow sinusoidal envelope —
+ *    consecutive frames are similar, like filterbank features.
+ *  - Token streams: a self-biased Markov chain over a vocabulary mapped
+ *    through a fixed random embedding table — consecutive embeddings
+ *    *jump* unless the token repeats, matching the lower reuse the paper
+ *    reports for the text networks (MNMT).
+ */
+
+#ifndef NLFM_WORKLOADS_GENERATORS_HH
+#define NLFM_WORKLOADS_GENERATORS_HH
+
+#include "common/rng.hh"
+#include "metrics/edit_distance.hh"
+#include "nn/rnn_layer.hh"
+#include "tensor/matrix.hh"
+
+namespace nlfm::workloads
+{
+
+/** Speech-frame generator parameters. */
+struct SpeechGenOptions
+{
+    std::size_t dim = 40;        ///< feature bins per frame
+    double correlation = 0.95;   ///< AR(1) coefficient between frames
+    double envelopePeriod = 40;  ///< timesteps per amplitude cycle
+    /**
+     * Depth of the amplitude envelope (0 disables). Amplitude-only
+     * change is invisible to sign binarization, so a deep envelope
+     * manufactures exactly the failure mode a BNN predictor cannot see;
+     * real filterbank features carry most frame-to-frame change in
+     * sign-visible components, so the default keeps the envelope mild.
+     */
+    double envelopeDepth = 0.08;
+    /**
+     * Scale of the fixed per-dimension mean offset. Filterbank
+     * log-energies fluctuate around stable per-bin levels rather than
+     * around zero; the offsets give each downstream neuron a non-zero
+     * operating point, so step-to-step *relative* output changes stay
+     * small — the property Fig. 5 measures on the real feature streams.
+     */
+    double meanScale = 1.2;
+    double scale = 1.0;          ///< output amplitude
+};
+
+/** Generate @p steps speech-like frames. */
+nn::Sequence generateSpeechFrames(std::size_t steps,
+                                  const SpeechGenOptions &options,
+                                  Rng &rng);
+
+/**
+ * Markov token stream: with probability @p self_bias the previous token
+ * repeats; otherwise a uniform draw.
+ */
+metrics::TokenSeq generateMarkovTokens(std::size_t steps, std::size_t vocab,
+                                       double self_bias, Rng &rng);
+
+/**
+ * Fixed random embedding table mapping token ids to dense vectors.
+ *
+ * Rows share a common mean direction (scaled by @p shared_mean_scale):
+ * trained embedding matrices are not zero-mean, and the shared component
+ * gives downstream neurons stable non-zero operating points, mirroring
+ * what stable per-bin levels do for the speech features.
+ */
+class TokenEmbedder
+{
+  public:
+    TokenEmbedder(std::size_t vocab, std::size_t dim, Rng &rng,
+                  double shared_mean_scale = 1.0);
+
+    std::size_t vocab() const { return table_.rows(); }
+    std::size_t dim() const { return table_.cols(); }
+
+    std::span<const float> embed(std::int32_t token) const;
+
+    /** Embed a whole token sequence. */
+    nn::Sequence embedSequence(const metrics::TokenSeq &tokens) const;
+
+  private:
+    tensor::Matrix table_;
+};
+
+} // namespace nlfm::workloads
+
+#endif // NLFM_WORKLOADS_GENERATORS_HH

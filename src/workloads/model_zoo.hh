@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Table-1 network zoo.
+ *
+ * Reconstructs the four evaluation networks at the topologies the paper
+ * lists (Table 1) with synthetic weights and inputs (DESIGN.md §3):
+ *
+ *   IMDB Sentiment  LSTM    1 x 128   86.5 %  acc   reuse 36.2 %
+ *   DeepSpeech2     GRU     5 x 800   10.24   WER   reuse 16.4 %
+ *   EESEN           BiLSTM 10 x 320   23.8    WER   reuse 30.5 %
+ *   MNMT            LSTM    8 x 1024  29.8    BLEU  reuse 19.0 %
+ *
+ * (EESEN's "10 layers" are realized as 5 stacked bidirectional layers =
+ * 10 directional LSTM cells.)
+ */
+
+#ifndef NLFM_WORKLOADS_MODEL_ZOO_HH
+#define NLFM_WORKLOADS_MODEL_ZOO_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/binarized.hh"
+#include "workloads/generators.hh"
+
+namespace nlfm::workloads
+{
+
+/** How the workload's accuracy loss is scored. */
+enum class TaskKind
+{
+    SpeechWer,        ///< CTC-greedy decode, WER drift vs baseline
+    TranslationBleu,  ///< greedy decode, BLEU drift vs baseline
+    SentimentAccuracy ///< final-step classification, flip rate
+};
+
+/** Static description of one evaluation network. */
+struct NetworkSpec
+{
+    std::string name;
+    std::string domain;
+    std::string dataset; ///< paper dataset + substitution note
+    nn::RnnConfig rnn;
+    TaskKind task = TaskKind::SpeechWer;
+
+    // Paper-reported values for EXPERIMENTS.md comparisons.
+    std::string paperAccuracyMetric;
+    double paperBaseAccuracy = 0.0;
+    double paperReuseAt1pct = 0.0; ///< Table 1 "Reuse" column (%)
+
+    double thetaMax = 0.5; ///< Fig. 1 sweep upper bound
+
+    // Synthetic workload defaults.
+    std::size_t defaultSteps = 50;
+    std::size_t defaultSequences = 3; ///< per split (tune and test)
+    std::size_t decodeVocab = 30;     ///< incl. blank for CTC tasks
+    double inputSmoothness = 0.95;    ///< AR(1) rho or token self-bias
+    /**
+     * Weight scale multiplier. Below 1.0 the recurrent dynamics are
+     * contractive, the regime trained RNNs for stable tasks occupy;
+     * random weights at gain >= 1 are chaotic and amplify the small
+     * errors memoization injects, which no trained network does.
+     */
+    double initGain = 0.5;
+    /** LSTM forget-gate bias; > 1 saturates tanh(c) like trained nets. */
+    double forgetBias = 1.5;
+    /** Weight magnitude dispersion (see nn::InitOptions). */
+    double weightDispersion = 0.3;
+    /**
+     * Half-width of the moving-average logit smoothing applied before
+     * greedy decoding. Trained models produce high-margin (peaky)
+     * logits; a random projection head does not, so raw arg-max decodes
+     * flicker at frame granularity. Window smoothing restores
+     * margin-like robustness without hiding genuine drift.
+     */
+    std::size_t decodeSmoothWindow = 3;
+    /** Shared-mean scale of the token embedding table (token tasks). */
+    double embedMeanScale = 1.0;
+    std::uint64_t seed = 1;
+};
+
+/** The four Table-1 networks. */
+const std::vector<NetworkSpec> &table1Networks();
+
+/** Look up a spec by (case-sensitive) name; fatal when unknown. */
+const NetworkSpec &specByName(const std::string &name);
+
+/**
+ * A materialized workload: network + BNN mirror + input splits + decode
+ * head.
+ */
+struct Workload
+{
+    NetworkSpec spec;
+    std::unique_ptr<nn::RnnNetwork> network;
+    std::unique_ptr<nn::BinarizedNetwork> bnn;
+    std::vector<nn::Sequence> tuneInputs;
+    std::vector<nn::Sequence> testInputs;
+    // Fixed random projection used for greedy decoding
+    // ([decodeVocab x outputSize]); class head for sentiment.
+    tensor::Matrix decodeHead;
+};
+
+/**
+ * Build a workload. @p steps / @p sequences of 0 select the spec's
+ * defaults. Deterministic for a given spec.
+ */
+std::unique_ptr<Workload> buildWorkload(const NetworkSpec &spec,
+                                        std::size_t steps = 0,
+                                        std::size_t sequences = 0);
+
+} // namespace nlfm::workloads
+
+#endif // NLFM_WORKLOADS_MODEL_ZOO_HH

@@ -1,0 +1,61 @@
+#include "workloads/tasks.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::workloads
+{
+
+namespace
+{
+constexpr std::int32_t pos_token = 1;
+constexpr std::int32_t neg_token = 2;
+} // namespace
+
+SentimentTask::SentimentTask(const SentimentTaskOptions &options,
+                             std::uint64_t seed)
+    : options_(options)
+{
+    nlfm_assert(options.vocab >= 4, "vocab must hold markers and fillers");
+    Rng rng(seed);
+    embedder_ = std::make_unique<TokenEmbedder>(options.vocab,
+                                                options.embedDim, rng);
+}
+
+std::vector<nn::train::LabeledSequence>
+SentimentTask::sample(std::size_t count, Rng &rng) const
+{
+    std::vector<nn::train::LabeledSequence> examples;
+    examples.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        metrics::TokenSeq tokens(options_.steps);
+        int balance = 0;
+        for (std::size_t t = 0; t < options_.steps; ++t) {
+            if (rng.uniform() < options_.markerRate) {
+                const bool positive = rng.uniform() < 0.5;
+                tokens[t] = positive ? pos_token : neg_token;
+                balance += positive ? 1 : -1;
+            } else {
+                // Fillers: any token other than the two markers.
+                std::int32_t filler;
+                do {
+                    filler = static_cast<std::int32_t>(
+                        rng.uniformInt(options_.vocab));
+                } while (filler == pos_token || filler == neg_token);
+                tokens[t] = filler;
+            }
+        }
+        // Ties get relabeled by flipping one filler into a marker so the
+        // label is always well-defined.
+        if (balance == 0) {
+            tokens[0] = pos_token;
+            balance = 1;
+        }
+        nn::train::LabeledSequence example;
+        example.inputs = embedder_->embedSequence(tokens);
+        example.label = balance > 0 ? 1 : 0;
+        examples.push_back(std::move(example));
+    }
+    return examples;
+}
+
+} // namespace nlfm::workloads

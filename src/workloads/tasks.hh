@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic trainable task: token-polarity sentiment classification.
+ *
+ * A stand-in for the IMDB sentiment task (Table 1) that a small LSTM can
+ * genuinely *learn*: sequences mix neutral filler tokens with positive
+ * and negative marker tokens; the label says which marker occurs more
+ * often. Counting over long contexts is the canonical LSTM capability,
+ * and a trained classifier lets us report true accuracy loss under
+ * memoization rather than baseline drift.
+ */
+
+#ifndef NLFM_WORKLOADS_TASKS_HH
+#define NLFM_WORKLOADS_TASKS_HH
+
+#include <memory>
+
+#include "nn/train.hh"
+#include "workloads/generators.hh"
+
+namespace nlfm::workloads
+{
+
+/** Sentiment task parameters. */
+struct SentimentTaskOptions
+{
+    std::size_t vocab = 16;    ///< tokens; ids 1 and 2 are the markers
+    std::size_t embedDim = 16;
+    std::size_t steps = 24;    ///< sequence length
+    double markerRate = 0.3;   ///< probability a position holds a marker
+};
+
+/**
+ * Generator of labeled sentiment sequences.
+ */
+class SentimentTask
+{
+  public:
+    SentimentTask(const SentimentTaskOptions &options, std::uint64_t seed);
+
+    const SentimentTaskOptions &options() const { return options_; }
+    const TokenEmbedder &embedder() const { return *embedder_; }
+
+    /** Sample @p count labeled, embedded sequences. */
+    std::vector<nn::train::LabeledSequence> sample(std::size_t count,
+                                                   Rng &rng) const;
+
+  private:
+    SentimentTaskOptions options_;
+    std::unique_ptr<TokenEmbedder> embedder_;
+};
+
+} // namespace nlfm::workloads
+
+#endif // NLFM_WORKLOADS_TASKS_HH

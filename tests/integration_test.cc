@@ -1,0 +1,154 @@
+/**
+ * @file
+ * End-to-end integration: workload -> threshold tuning -> memoized run
+ * -> accelerator simulation, i.e. the full pipeline every bench binary
+ * drives, on a downsized network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "epur/simulator.hh"
+#include "memo/threshold_tuner.hh"
+#include "workloads/evaluators.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+workloads::NetworkSpec
+tinySpec()
+{
+    workloads::NetworkSpec spec = workloads::specByName("EESEN");
+    // Keep every gate wide enough that its DPU time (ceil(K/16))
+    // exceeds the 5-cycle FMU latency; otherwise the probe overhead
+    // legitimately dominates (the paper's networks all satisfy this).
+    spec.rnn.hiddenSize = 48;
+    spec.rnn.layers = 2;
+    spec.rnn.inputSize = 48;
+    spec.defaultSteps = 24;
+    spec.defaultSequences = 3;
+    return spec;
+}
+
+TEST(IntegrationTest, TuneThenTestThenSimulate)
+{
+    auto workload = workloads::buildWorkload(tinySpec());
+    workloads::WorkloadEvaluator evaluator(*workload);
+
+    // 1. Threshold exploration on the tune split (paper §3.2.1).
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    const auto thetas = memo::linspace(0.0, 0.5, 6);
+    const auto points = memo::sweepThresholds(
+        evaluator.tuneExperiment(options, workloads::Split::Tune),
+        thetas);
+    ASSERT_EQ(points.size(), 6u);
+
+    // 2. Select the best threshold for a relaxed loss budget, falling
+    //    back to the most accurate point if nothing qualifies.
+    auto chosen = memo::selectThreshold(points, 10.0);
+    ASSERT_TRUE(chosen.has_value());
+
+    // 3. Apply the frozen theta to the test split with traces.
+    options.theta = chosen->theta;
+    options.recordTrace = true;
+    const workloads::EvalRun run =
+        evaluator.evaluateWithTrace(options, workloads::Split::Test);
+
+    // 4. Accelerator simulation: baseline vs memoized.
+    epur::Simulator sim{epur::EpurConfig{},
+                        epur::EnergyParams::defaults()};
+    std::vector<std::size_t> steps;
+    for (const auto &sequence : workload->testInputs)
+        steps.push_back(sequence.size());
+    const auto baseline =
+        sim.simulateBaseline(*workload->network, steps);
+    const auto memoized =
+        sim.simulateMemoized(*workload->network, run.traces);
+
+    if (run.result.reuse > 0.05) {
+        EXPECT_GT(epur::Simulator::speedup(baseline, memoized), 1.0);
+        EXPECT_GT(epur::Simulator::energySavings(baseline, memoized),
+                  0.0);
+    }
+    // Timing sanity: memoized cycles never exceed baseline (miss cost
+    // equals the DPU cost whenever the DPU dominates the FMU).
+    EXPECT_LE(memoized.timing.cycles, baseline.timing.cycles);
+}
+
+TEST(IntegrationTest, OracleBeatsOrMatchesBnnAtEqualTheta)
+{
+    auto workload = workloads::buildWorkload(tinySpec());
+    workloads::WorkloadEvaluator evaluator(*workload);
+
+    // The oracle reuses whenever the true outputs are close; the BNN
+    // approximates that decision. Loss at theta=0 must be zero for the
+    // oracle while the BNN may already reuse (exactly matching BNN
+    // outputs) — both behaviours are part of the paper's design.
+    memo::MemoOptions oracle;
+    oracle.predictor = memo::PredictorKind::Oracle;
+    oracle.theta = 0.0;
+    const auto oracle_result =
+        evaluator.evaluate(oracle, workloads::Split::Tune);
+    EXPECT_DOUBLE_EQ(oracle_result.lossPercent, 0.0);
+
+    memo::MemoOptions bnn;
+    bnn.predictor = memo::PredictorKind::Bnn;
+    bnn.theta = 0.0;
+    const auto bnn_result =
+        evaluator.evaluate(bnn, workloads::Split::Tune);
+    EXPECT_GE(bnn_result.reuse, 0.0);
+}
+
+TEST(IntegrationTest, ThrottlingAblationRunsEndToEnd)
+{
+    // Fig. 11's machinery: same workload, throttle on/off.
+    auto workload = workloads::buildWorkload(tinySpec());
+    workloads::WorkloadEvaluator evaluator(*workload);
+
+    memo::MemoOptions with;
+    with.theta = 0.25;
+    with.throttle = true;
+    const auto r_with = evaluator.evaluate(with, workloads::Split::Tune);
+
+    memo::MemoOptions without = with;
+    without.throttle = false;
+    const auto r_without =
+        evaluator.evaluate(without, workloads::Split::Tune);
+
+    EXPECT_LE(r_with.reuse, r_without.reuse + 1e-12);
+}
+
+TEST(IntegrationTest, EnergyBreakdownShiftsWithMemoization)
+{
+    auto workload = workloads::buildWorkload(tinySpec());
+    workloads::WorkloadEvaluator evaluator(*workload);
+    memo::MemoOptions options;
+    options.theta = 0.5;
+    options.recordTrace = true;
+    const auto run =
+        evaluator.evaluateWithTrace(options, workloads::Split::Tune);
+
+    epur::Simulator sim{epur::EpurConfig{},
+                        epur::EnergyParams::defaults()};
+    std::vector<std::size_t> steps;
+    for (const auto &sequence : workload->tuneInputs)
+        steps.push_back(sequence.size());
+    const auto baseline =
+        sim.simulateBaseline(*workload->network, steps);
+    const auto memoized =
+        sim.simulateMemoized(*workload->network, run.traces);
+
+    // The memoized design adds an FMU bucket and reduces scratchpad
+    // energy per avoided weight stream.
+    EXPECT_DOUBLE_EQ(baseline.energy.fmuJ, 0.0);
+    EXPECT_GT(memoized.energy.fmuJ, 0.0);
+    if (run.result.reuse > 0.1) {
+        EXPECT_LT(memoized.energy.scratchpadJ,
+                  baseline.energy.scratchpadJ);
+    }
+}
+
+} // namespace
+} // namespace nlfm

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the correlation probe (Figs. 5, 7, 8 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "memo/correlation_probe.hh"
+#include "nn/init.hh"
+
+namespace nlfm::memo
+{
+namespace
+{
+
+using nn::CellType;
+using nn::RnnConfig;
+using nn::RnnNetwork;
+using nn::Sequence;
+
+struct ProbeFixture
+{
+    RnnConfig config;
+    std::unique_ptr<RnnNetwork> network;
+    std::unique_ptr<nn::BinarizedNetwork> bnn;
+    Sequence inputs;
+
+    ProbeFixture()
+    {
+        config.cellType = CellType::Lstm;
+        config.inputSize = 16;
+        config.hiddenSize = 8;
+        config.layers = 2;
+        config.peepholes = true;
+        network = std::make_unique<RnnNetwork>(config);
+        Rng rng(21);
+        nn::InitOptions init;
+        init.gain = 0.6;
+        init.magnitudeDispersion = 0.3;
+        nn::initNetwork(*network, rng, init);
+        bnn = std::make_unique<nn::BinarizedNetwork>(*network);
+
+        inputs.assign(48, std::vector<float>(config.inputSize));
+        std::vector<double> state(config.inputSize);
+        for (auto &s : state)
+            s = rng.normal();
+        for (auto &frame : inputs) {
+            for (std::size_t d = 0; d < state.size(); ++d) {
+                state[d] = 0.92 * state[d] + 0.39 * rng.normal();
+                frame[d] = static_cast<float>(state[d]);
+            }
+        }
+    }
+};
+
+TEST(CorrelationProbeTest, DoesNotPerturbTheNetwork)
+{
+    ProbeFixture f;
+    const Sequence baseline = f.network->forwardBaseline(f.inputs);
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    const Sequence probed = f.network->forward(f.inputs, probe);
+    for (std::size_t t = 0; t < baseline.size(); ++t)
+        for (std::size_t i = 0; i < baseline[t].size(); ++i)
+            EXPECT_FLOAT_EQ(probed[t][i], baseline[t][i]);
+}
+
+TEST(CorrelationProbeTest, CollectsOneCorrelationPerNeuron)
+{
+    ProbeFixture f;
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    f.network->forward(f.inputs, probe);
+    const auto correlations = probe.neuronCorrelations();
+    EXPECT_EQ(correlations.size(), f.network->totalNeurons());
+    for (double r : correlations) {
+        EXPECT_GE(r, -1.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(CorrelationProbeTest, RandomGaussianNetsCorrelatePositively)
+{
+    // The dot-product preservation property (paper §3.1.2, citing
+    // Anderson & Berg): full-precision and binarized outputs correlate
+    // strongly for high-dimensional weight vectors.
+    ProbeFixture f;
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    f.network->forward(f.inputs, probe);
+    EXPECT_GT(probe.overallCorrelation(), 0.3);
+    const auto correlations = probe.neuronCorrelations();
+    std::size_t positive = 0;
+    for (double r : correlations)
+        positive += r > 0.0 ? 1 : 0;
+    EXPECT_GT(static_cast<double>(positive) /
+                  static_cast<double>(correlations.size()),
+              0.85);
+}
+
+TEST(CorrelationProbeTest, DeltaHistogramAccumulatesEvents)
+{
+    ProbeFixture f;
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    f.network->forward(f.inputs, probe);
+    // (steps - 1) consecutive pairs per neuron.
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(f.network->totalNeurons()) *
+        (f.inputs.size() - 1);
+    EXPECT_EQ(probe.deltaHistogram().total(), expected);
+    EXPECT_EQ(probe.deltaStats().count(), expected);
+}
+
+TEST(CorrelationProbeTest, FractionBelowIsMonotone)
+{
+    ProbeFixture f;
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    f.network->forward(f.inputs, probe);
+    double last = 0.0;
+    for (double x : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
+        const double frac = probe.fractionBelow(x);
+        EXPECT_GE(frac, last);
+        EXPECT_LE(frac, 1.0);
+        last = frac;
+    }
+    EXPECT_NEAR(probe.fractionBelow(2.0), 1.0, 1e-9);
+}
+
+TEST(CorrelationProbeTest, SmoothInputsYieldSmallerDeltas)
+{
+    // Fig. 5's premise: smoother input sequences produce smaller
+    // consecutive output changes.
+    auto run = [](double rho) {
+        ProbeFixture f;
+        // Regenerate inputs at the requested smoothness.
+        Rng rng(33);
+        std::vector<double> state(f.config.inputSize);
+        for (auto &s : state)
+            s = rng.normal();
+        const double innov = std::sqrt(1 - rho * rho);
+        for (auto &frame : f.inputs) {
+            for (std::size_t d = 0; d < state.size(); ++d) {
+                state[d] = rho * state[d] + innov * rng.normal();
+                frame[d] = static_cast<float>(state[d]);
+            }
+        }
+        CorrelationProbe probe(*f.network, f.bnn.get());
+        f.network->forward(f.inputs, probe);
+        return probe.fractionBelow(0.1);
+    };
+    EXPECT_GT(run(0.99), run(0.5));
+}
+
+TEST(CorrelationProbeTest, ScatterRespectsCapAndStride)
+{
+    ProbeFixture f;
+    ProbeOptions options;
+    options.scatterStride = 3;
+    options.maxScatterSamples = 50;
+    CorrelationProbe probe(*f.network, f.bnn.get(), options);
+    f.network->forward(f.inputs, probe);
+    EXPECT_LE(probe.scatter().size(), 50u);
+    EXPECT_GT(probe.scatter().size(), 0u);
+}
+
+TEST(CorrelationProbeTest, BeginSequenceResetsDeltaTracking)
+{
+    ProbeFixture f;
+    CorrelationProbe probe(*f.network, f.bnn.get());
+    f.network->forward(f.inputs, probe);
+    const auto after_one = probe.deltaHistogram().total();
+    f.network->forward(f.inputs, probe);
+    // Second sequence adds the same number of pairs (no cross-sequence
+    // pair is recorded).
+    EXPECT_EQ(probe.deltaHistogram().total(), 2 * after_one);
+}
+
+} // namespace
+} // namespace nlfm::memo

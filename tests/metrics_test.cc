@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the sequence metrics: edit distance / WER, CTC
+ * collapse, BLEU, and classification agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.hh"
+#include "metrics/bleu.hh"
+#include "metrics/edit_distance.hh"
+
+namespace nlfm::metrics
+{
+namespace
+{
+
+TokenSeq
+seq(std::initializer_list<std::int32_t> values)
+{
+    return TokenSeq(values);
+}
+
+// ------------------------------------------------------- edit distance
+
+TEST(EditDistanceTest, IdenticalIsZero)
+{
+    EXPECT_EQ(editDistance(seq({1, 2, 3}), seq({1, 2, 3})), 0u);
+}
+
+TEST(EditDistanceTest, EmptyCases)
+{
+    EXPECT_EQ(editDistance(seq({}), seq({})), 0u);
+    EXPECT_EQ(editDistance(seq({1, 2}), seq({})), 2u);
+    EXPECT_EQ(editDistance(seq({}), seq({5})), 1u);
+}
+
+TEST(EditDistanceTest, KnownDistances)
+{
+    // kitten -> sitting (3 edits), mapped onto ints.
+    // k i t t e n -> s i t t i n g
+    EXPECT_EQ(editDistance(seq({10, 8, 19, 19, 4, 13}),
+                           seq({18, 8, 19, 19, 8, 13, 6})),
+              3u);
+    EXPECT_EQ(editDistance(seq({1, 2, 3, 4}), seq({1, 3, 4})), 1u);
+    EXPECT_EQ(editDistance(seq({1, 2, 3}), seq({3, 2, 1})), 2u);
+}
+
+TEST(EditDistanceTest, SymmetricForUnitCosts)
+{
+    const auto a = seq({1, 5, 2, 9, 4});
+    const auto b = seq({1, 2, 9, 9});
+    EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+}
+
+TEST(WerTest, MatchesManualRatio)
+{
+    const auto ref = seq({1, 2, 3, 4});
+    const auto hyp = seq({1, 9, 3});
+    // 1 substitution + 1 deletion = 2 edits over 4 reference tokens.
+    EXPECT_DOUBLE_EQ(wordErrorRate(ref, hyp), 0.5);
+}
+
+TEST(WerTest, EmptyReferenceDoesNotDivideByZero)
+{
+    EXPECT_DOUBLE_EQ(wordErrorRate(seq({}), seq({1})), 1.0);
+}
+
+TEST(WerTest, CorpusAggregatesByLength)
+{
+    const std::vector<TokenSeq> refs = {seq({1, 2, 3, 4, 5, 6, 7, 8}),
+                                        seq({1, 2})};
+    const std::vector<TokenSeq> hyps = {seq({1, 2, 3, 4, 5, 6, 7, 8}),
+                                        seq({9, 9})};
+    // 2 edits over 10 reference tokens.
+    EXPECT_DOUBLE_EQ(corpusWordErrorRate(refs, hyps), 0.2);
+}
+
+// --------------------------------------------------------- ctc collapse
+
+TEST(CtcCollapseTest, MergesRepeatsAndDropsBlanks)
+{
+    // frames: b b 1 1 2 b 2 2 3 -> 1 2 2 3
+    EXPECT_EQ(collapseCtc(seq({0, 0, 1, 1, 2, 0, 2, 2, 3}), 0),
+              seq({1, 2, 2, 3}));
+}
+
+TEST(CtcCollapseTest, AllBlanksGiveEmpty)
+{
+    EXPECT_TRUE(collapseCtc(seq({0, 0, 0}), 0).empty());
+}
+
+TEST(CtcCollapseTest, LeadingTokenKept)
+{
+    EXPECT_EQ(collapseCtc(seq({4, 4, 0, 4}), 0), seq({4, 4}));
+}
+
+// ---------------------------------------------------------------- bleu
+
+TEST(BleuTest, PerfectMatchIsHundred)
+{
+    const std::vector<TokenSeq> refs = {
+        seq({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
+    EXPECT_NEAR(corpusBleu(refs, refs), 100.0, 1e-9);
+}
+
+TEST(BleuTest, DisjointIsLow)
+{
+    const std::vector<TokenSeq> refs = {
+        seq({1, 2, 3, 4, 5, 6, 7, 8})};
+    const std::vector<TokenSeq> hyps = {
+        seq({11, 12, 13, 14, 15, 16, 17, 18})};
+    EXPECT_LT(corpusBleu(refs, hyps), 15.0);
+}
+
+TEST(BleuTest, UnsmoothedZeroOnMissingNgram)
+{
+    BleuOptions options;
+    options.smooth = false;
+    const std::vector<TokenSeq> refs = {seq({1, 2, 3, 4, 5})};
+    const std::vector<TokenSeq> hyps = {seq({1, 9, 3, 9, 5})};
+    // No 4-gram matches -> zero without smoothing.
+    EXPECT_DOUBLE_EQ(corpusBleu(refs, hyps, options), 0.0);
+}
+
+TEST(BleuTest, BrevityPenaltyApplies)
+{
+    const std::vector<TokenSeq> refs = {
+        seq({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
+    const std::vector<TokenSeq> prefix = {seq({1, 2, 3, 4, 5})};
+    const std::vector<TokenSeq> full = {
+        seq({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
+    EXPECT_LT(corpusBleu(refs, prefix), corpusBleu(refs, full));
+}
+
+TEST(BleuTest, SingleFlipCostsLessThanMany)
+{
+    TokenSeq ref;
+    for (int i = 0; i < 40; ++i)
+        ref.push_back(i % 13);
+    TokenSeq one_flip = ref;
+    one_flip[20] = 99;
+    TokenSeq five_flips = ref;
+    for (int i = 0; i < 5; ++i)
+        five_flips[5 + 7 * i] = 90 + i;
+
+    const std::vector<TokenSeq> refs = {ref};
+    const std::vector<TokenSeq> hyp1 = {one_flip};
+    const std::vector<TokenSeq> hyp5 = {five_flips};
+    const double b1 = corpusBleu(refs, hyp1);
+    const double b5 = corpusBleu(refs, hyp5);
+    EXPECT_GT(b1, b5);
+    EXPECT_GT(b1, 60.0);
+}
+
+TEST(BleuTest, SentenceBleuAgreesWithSingletonCorpus)
+{
+    const auto ref = seq({1, 2, 3, 4, 5, 6});
+    const auto hyp = seq({1, 2, 3, 9, 5, 6});
+    const std::vector<TokenSeq> refs = {ref};
+    const std::vector<TokenSeq> hyps = {hyp};
+    EXPECT_DOUBLE_EQ(sentenceBleu(ref, hyp), corpusBleu(refs, hyps));
+}
+
+// ------------------------------------------------------------ accuracy
+
+TEST(AccuracyTest, AgreementCounts)
+{
+    const std::vector<std::size_t> a = {1, 0, 1, 1};
+    const std::vector<std::size_t> b = {1, 1, 1, 0};
+    EXPECT_DOUBLE_EQ(agreement(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(accuracy(a, a), 1.0);
+}
+
+} // namespace
+} // namespace nlfm::metrics

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Parameterized property sweeps across topologies and operating points:
+ * invariants that must hold for every cell type, directionality, depth,
+ * and reuse level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "epur/simulator.hh"
+#include "memo/memo_engine.hh"
+#include "nn/init.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+using nn::CellType;
+using nn::RnnConfig;
+using nn::RnnNetwork;
+using nn::Sequence;
+
+/** Topology axis of the sweeps. */
+struct Topology
+{
+    CellType cellType;
+    bool bidirectional;
+    std::size_t layers;
+};
+
+std::string
+topologyName(const ::testing::TestParamInfo<Topology> &info)
+{
+    std::string name =
+        info.param.cellType == CellType::Lstm ? "Lstm" : "Gru";
+    name += info.param.bidirectional ? "Bi" : "Uni";
+    name += "L" + std::to_string(info.param.layers);
+    return name;
+}
+
+Sequence
+smoothInputs(Rng &rng, std::size_t steps, std::size_t dim, double rho)
+{
+    Sequence inputs(steps, std::vector<float>(dim));
+    std::vector<double> state(dim);
+    for (auto &s : state)
+        s = rng.normal();
+    const double innov = std::sqrt(1.0 - rho * rho);
+    for (auto &frame : inputs) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            state[d] = rho * state[d] + innov * rng.normal();
+            frame[d] = static_cast<float>(state[d]);
+        }
+    }
+    return inputs;
+}
+
+class TopologySweep : public ::testing::TestWithParam<Topology>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const Topology &topo = GetParam();
+        config_.cellType = topo.cellType;
+        config_.inputSize = 11;
+        config_.hiddenSize = 10;
+        config_.layers = topo.layers;
+        config_.bidirectional = topo.bidirectional;
+        config_.peepholes = topo.cellType == CellType::Lstm;
+        network_ = std::make_unique<RnnNetwork>(config_);
+        Rng rng(17 + topo.layers);
+        nn::initNetwork(*network_, rng);
+        bnn_ = std::make_unique<nn::BinarizedNetwork>(*network_);
+        Rng data_rng(23);
+        inputs_ = smoothInputs(data_rng, 9, config_.inputSize, 0.9);
+    }
+
+    RnnConfig config_;
+    std::unique_ptr<RnnNetwork> network_;
+    std::unique_ptr<nn::BinarizedNetwork> bnn_;
+    Sequence inputs_;
+};
+
+TEST_P(TopologySweep, OracleThetaZeroIsExact)
+{
+    const Sequence baseline = network_->forwardBaseline(inputs_);
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Oracle;
+    options.theta = 0.0;
+    memo::MemoEngine engine(*network_, bnn_.get(), options);
+    const Sequence memoized = network_->forward(inputs_, engine);
+    for (std::size_t t = 0; t < baseline.size(); ++t)
+        for (std::size_t i = 0; i < baseline[t].size(); ++i)
+            EXPECT_FLOAT_EQ(memoized[t][i], baseline[t][i]);
+}
+
+TEST_P(TopologySweep, ReuseIsBoundedByWarmupCeiling)
+{
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = 1e9;
+    memo::MemoEngine engine(*network_, bnn_.get(), options);
+    network_->forward(inputs_, engine);
+    const double ceiling = static_cast<double>(inputs_.size() - 1) /
+                           static_cast<double>(inputs_.size());
+    EXPECT_LE(engine.stats().reuseFraction(), ceiling + 1e-12);
+    EXPECT_GT(engine.stats().reuseFraction(), 0.0);
+}
+
+TEST_P(TopologySweep, DeterministicAcrossRepeatedRuns)
+{
+    memo::MemoOptions options;
+    options.theta = 0.2;
+    memo::MemoEngine engine_a(*network_, bnn_.get(), options);
+    const Sequence first = network_->forward(inputs_, engine_a);
+    memo::MemoEngine engine_b(*network_, bnn_.get(), options);
+    const Sequence second = network_->forward(inputs_, engine_b);
+    for (std::size_t t = 0; t < first.size(); ++t)
+        for (std::size_t i = 0; i < first[t].size(); ++i)
+            EXPECT_FLOAT_EQ(first[t][i], second[t][i]);
+    EXPECT_EQ(engine_a.stats().totalReused(),
+              engine_b.stats().totalReused());
+}
+
+TEST_P(TopologySweep, TraceAccountsEveryGateEveryStep)
+{
+    memo::MemoOptions options;
+    options.theta = 0.3;
+    options.recordTrace = true;
+    memo::MemoEngine engine(*network_, bnn_.get(), options);
+    network_->forward(inputs_, engine);
+    const auto &trace = engine.traces()[0];
+    ASSERT_EQ(trace.gates.size(), network_->gateInstances().size());
+    for (const auto &gate : trace.gates)
+        EXPECT_EQ(gate.misses.size(), inputs_.size());
+}
+
+TEST_P(TopologySweep, BaselineSimulationScalesWithTopology)
+{
+    const epur::Simulator sim{epur::EpurConfig{},
+                              epur::EnergyParams::defaults()};
+    const std::size_t steps[] = {inputs_.size()};
+    const auto result = sim.simulateBaseline(*network_, steps);
+    EXPECT_GT(result.timing.cycles, 0u);
+    // Cells serialize: cycles grow linearly in layers * directions.
+    const std::uint64_t cells = config_.layers * config_.directions();
+    EXPECT_EQ(result.timing.cycles % cells, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TopologySweep,
+    ::testing::Values(Topology{CellType::Lstm, false, 1},
+                      Topology{CellType::Lstm, false, 3},
+                      Topology{CellType::Lstm, true, 1},
+                      Topology{CellType::Lstm, true, 2},
+                      Topology{CellType::Gru, false, 1},
+                      Topology{CellType::Gru, false, 2},
+                      Topology{CellType::Gru, true, 2}),
+    topologyName);
+
+// ----------------------------------------------- reuse-level energy
+
+class ReuseLevelSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReuseLevelSweep, SavingsGrowMonotonicallyWithReuse)
+{
+    // Synthetic traces at fixed reuse levels; both time and energy of
+    // E-PUR+BM must improve monotonically as reuse rises.
+    RnnConfig config;
+    config.cellType = CellType::Lstm;
+    config.inputSize = 320;
+    config.hiddenSize = 320;
+    config.layers = 1;
+    RnnNetwork network(config);
+    const epur::Simulator sim{epur::EpurConfig{},
+                              epur::EnergyParams::defaults()};
+
+    auto run_at_misses = [&](std::uint32_t misses) {
+        memo::SequenceTrace trace;
+        trace.gates.resize(network.gateInstances().size());
+        for (auto &gate : trace.gates)
+            gate.misses.assign(20, misses);
+        const std::vector<memo::SequenceTrace> traces = {trace};
+        return sim.simulateMemoized(network, traces);
+    };
+
+    const int step = GetParam();
+    const auto lower = run_at_misses(static_cast<std::uint32_t>(
+        320 - (step + 1) * 32)); // more reuse
+    const auto higher = run_at_misses(static_cast<std::uint32_t>(
+        320 - step * 32)); // less reuse
+    EXPECT_LE(lower.timing.cycles, higher.timing.cycles);
+    EXPECT_LT(lower.energy.totalJ(), higher.energy.totalJ());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ReuseLevelSweep,
+                         ::testing::Range(0, 9));
+
+// ------------------------------------------------- fixed point sweep
+
+class ThetaQuantizationSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThetaQuantizationSweep, FixedPointThetaRoundTrips)
+{
+    const double theta = GetParam();
+    const Q16 quantized = Q16::fromDouble(theta);
+    EXPECT_NEAR(quantized.toDouble(), theta, 1.0 / 65536.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaQuantizationSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.25,
+                                           0.333, 0.5, 0.75, 1.0));
+
+} // namespace
+} // namespace nlfm
