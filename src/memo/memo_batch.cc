@@ -1,0 +1,272 @@
+#include "memo/memo_batch.hh"
+
+#include "memo/memo_decision.hh"
+#include "tensor/bitpack.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm::memo
+{
+
+BatchMemoEngine::BatchMemoEngine(const nn::RnnNetwork &network,
+                                 nn::BinarizedNetwork *bnn,
+                                 const MemoOptions &options)
+    : network_(network), bnn_(bnn), options_(options),
+      thetaQ_(Q16::fromDouble(options.theta))
+{
+    nlfm_assert(options.theta >= 0.0, "negative threshold");
+    nlfm_assert(options.predictor != PredictorKind::Bnn || bnn != nullptr,
+                "BNN predictor requires a binarized mirror network");
+    nlfm_assert(!options.recordTrace,
+                "trace recording is a serial-engine feature");
+}
+
+void
+BatchMemoEngine::setTheta(double theta)
+{
+    nlfm_assert(theta >= 0.0, "negative threshold");
+    options_.theta = theta;
+    thetaQ_ = Q16::fromDouble(theta);
+}
+
+void
+BatchMemoEngine::beginBatch(std::size_t total_sequences)
+{
+    batch_ = total_sequences;
+    const std::size_t entries = network_.totalNeurons() * batch_;
+    cachedOutput_.assign(entries, 0.f);
+    cachedBnn_.assign(entries, 0);
+    deltaRaw_.assign(entries, 0);
+    deltaFp_.assign(entries, 0.0);
+    valid_.assign(entries, 0);
+    const std::size_t gates = network_.gateInstances().size();
+    slotReused_.assign(gates * batch_, 0);
+    slotTotal_.assign(gates * batch_, 0);
+}
+
+void
+BatchMemoEngine::evaluateGateBatch(const nn::GateInstance &instance,
+                                   const nn::GateParams &params,
+                                   const tensor::Matrix &x,
+                                   const tensor::Matrix &h,
+                                   std::span<const std::size_t> rows,
+                                   std::size_t slot_base,
+                                   tensor::Matrix &preact)
+{
+    nlfm_assert(preact.cols() == instance.neurons,
+                "preact panel width mismatch in batch memo engine");
+    nlfm_assert(batch_ > 0, "evaluateGateBatch before beginBatch");
+
+    if (options_.predictor == PredictorKind::Oracle)
+        evaluateOracleBatch(instance, params, x, h, rows, slot_base,
+                            preact);
+    else
+        evaluateBnnBatch(instance, params, x, h, rows, slot_base, preact);
+
+    // One processing step per live slot: every listed neuron slot counts
+    // toward the totals, exactly like the serial stats_.record call.
+    const std::size_t stat_base = instance.instanceId * batch_;
+    for (const std::size_t b : rows)
+        slotTotal_[stat_base + slot_base + b] += instance.neurons;
+}
+
+void
+BatchMemoEngine::evaluateOracleBatch(const nn::GateInstance &instance,
+                                     const nn::GateParams &params,
+                                     const tensor::Matrix &x,
+                                     const tensor::Matrix &h,
+                                     std::span<const std::size_t> rows,
+                                     std::size_t slot_base,
+                                     tensor::Matrix &preact)
+{
+    const double theta = options_.theta;
+    const std::size_t stat_base = instance.instanceId * batch_;
+
+    // The Oracle always computes y_t (Eq. 9), so the whole panel goes
+    // through the blocked kernel: each weight row is streamed once
+    // across every live slot. thread_local scratch: one set of reusable
+    // buffers per pool worker, no per-gate-call allocation.
+    thread_local std::vector<const float *> x_rows;
+    thread_local std::vector<const float *> h_rows;
+    thread_local std::vector<float *> out_rows;
+    thread_local std::vector<float> forward;
+    thread_local std::vector<float> recurrent;
+    x_rows.resize(rows.size());
+    h_rows.resize(rows.size());
+    out_rows.resize(rows.size());
+    forward.resize(rows.size());
+    recurrent.resize(rows.size());
+    tensor::gatherRowPointers(x, rows, x_rows);
+    tensor::gatherRowPointers(h, rows, h_rows);
+    tensor::gatherRowPointers(preact, rows, out_rows);
+    for (std::size_t n = 0; n < instance.neurons; ++n) {
+        tensor::dotLanesRows(params.wx.row(n), x_rows, forward);
+        tensor::dotLanesRows(params.wh.row(n), h_rows, recurrent);
+        const std::size_t entry_base = (instance.neuronBase + n) * batch_;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const std::size_t slot = slot_base + rows[i];
+            const std::size_t entry = entry_base + slot;
+            // The same float(dotLanes + dotLanes) the serial engine's
+            // evaluateNeuron produces.
+            const float y_t = forward[i] + recurrent[i];
+            const bool reuse = oracleReuseDecision(
+                y_t, cachedOutput_[entry], valid_[entry] != 0, theta);
+            if (reuse) {
+                // Use the stale value (Eq. 10); the entry is kept
+                // (Eq. 11).
+                out_rows[i][n] = cachedOutput_[entry];
+                ++slotReused_[stat_base + slot];
+            } else {
+                out_rows[i][n] = y_t;
+                cachedOutput_[entry] = y_t;
+                valid_[entry] = 1;
+            }
+        }
+    }
+}
+
+void
+BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
+                                  const nn::GateParams &params,
+                                  const tensor::Matrix &x,
+                                  const tensor::Matrix &h,
+                                  std::span<const std::size_t> rows,
+                                  std::size_t slot_base,
+                                  tensor::Matrix &preact)
+{
+    nn::BinarizedGate &bgate = bnn_->gate(instance.instanceId);
+    const bool throttle = options_.throttle;
+    const bool fixed_point = options_.fixedPoint;
+    const double theta = options_.theta;
+    const Q16 theta_q = thetaQ_;
+    const std::size_t stat_base = instance.instanceId * batch_;
+
+    // One input binarization per live slot per timestep (the FMU input
+    // vector of each sequence). thread_local so concurrent chunks never
+    // share mutable predictor state and word buffers are reused across
+    // gate calls instead of reallocated; re-sized only when the gate
+    // width changes.
+    const std::size_t width = instance.xSize + instance.hSize;
+    thread_local std::vector<tensor::BitVector> inputs;
+    if (inputs.size() < rows.size())
+        inputs.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (inputs[i].size() != width)
+            inputs[i] = tensor::BitVector(width);
+        inputs[i].assignConcat(x.row(rows[i]), h.row(rows[i]));
+    }
+
+    // thread_local scratch, one set per pool worker (see
+    // evaluateOracleBatch).
+    thread_local std::vector<const float *> x_rows;
+    thread_local std::vector<const float *> h_rows;
+    thread_local std::vector<float *> out_rows;
+    x_rows.resize(rows.size());
+    h_rows.resize(rows.size());
+    out_rows.resize(rows.size());
+    tensor::gatherRowPointers(x, rows, x_rows);
+    tensor::gatherRowPointers(h, rows, h_rows);
+    tensor::gatherRowPointers(preact, rows, out_rows);
+
+    // Per-neuron scratch: which slots missed, and their blocked dots.
+    thread_local std::vector<std::size_t> miss;
+    thread_local std::vector<std::int32_t> miss_bnn;
+    thread_local std::vector<const float *> miss_x;
+    thread_local std::vector<const float *> miss_h;
+    thread_local std::vector<float> forward;
+    thread_local std::vector<float> recurrent;
+    miss.reserve(rows.size());
+    miss_bnn.reserve(rows.size());
+    miss_x.reserve(rows.size());
+    miss_h.reserve(rows.size());
+
+    for (std::size_t n = 0; n < instance.neurons; ++n) {
+        const tensor::BitVector &signs = bgate.weights().row(n);
+        const std::size_t entry_base = (instance.neuronBase + n) * batch_;
+
+        // Phase 1: the cheap BNN probe decides per slot; hits are
+        // resolved immediately, misses are queued.
+        miss.clear();
+        miss_bnn.clear();
+        miss_x.clear();
+        miss_h.clear();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const std::size_t slot = slot_base + rows[i];
+            const std::size_t entry = entry_base + slot;
+            const std::int32_t yb_t = tensor::bnnDot(signs, inputs[i]);
+
+            const BnnDecision decision = bnnReuseDecision(
+                yb_t, cachedBnn_[entry], valid_[entry] != 0,
+                deltaRaw_[entry], deltaFp_[entry], throttle, fixed_point,
+                theta, theta_q);
+
+            if (decision.reuse) {
+                // Eq. 14 top: bypass the DPU, emit the cached output.
+                out_rows[i][n] = cachedOutput_[entry];
+                deltaRaw_[entry] = decision.deltaRaw;
+                deltaFp_[entry] = decision.deltaFp;
+                ++slotReused_[stat_base + slot];
+            } else {
+                miss.push_back(i);
+                miss_bnn.push_back(yb_t);
+                miss_x.push_back(x_rows[i]);
+                miss_h.push_back(h_rows[i]);
+            }
+        }
+
+        // Phase 2 (Eqs. 15-17): full evaluation of the missing slots
+        // through the blocked kernel, one weight-row read for all of
+        // them; refresh the whole entry.
+        if (miss.empty())
+            continue;
+        forward.resize(miss.size());
+        recurrent.resize(miss.size());
+        tensor::dotLanesRows(params.wx.row(n), miss_x, forward);
+        tensor::dotLanesRows(params.wh.row(n), miss_h, recurrent);
+        for (std::size_t m = 0; m < miss.size(); ++m) {
+            const std::size_t i = miss[m];
+            const std::size_t entry = entry_base + slot_base + rows[i];
+            const float y_t = forward[m] + recurrent[m];
+            out_rows[i][n] = y_t;
+            cachedOutput_[entry] = y_t;
+            cachedBnn_[entry] = miss_bnn[m];
+            deltaRaw_[entry] = 0;
+            deltaFp_[entry] = 0.0;
+            valid_[entry] = 1;
+        }
+    }
+}
+
+ReuseStats
+BatchMemoEngine::stats() const
+{
+    ReuseStats stats(network_.gateInstances().size());
+    for (std::size_t gate = 0; gate < network_.gateInstances().size();
+         ++gate) {
+        std::uint64_t reused = 0;
+        std::uint64_t total = 0;
+        for (std::size_t slot = 0; slot < batch_; ++slot) {
+            reused += slotReused_[gate * batch_ + slot];
+            total += slotTotal_[gate * batch_ + slot];
+        }
+        stats.record(gate, reused, total);
+    }
+    return stats;
+}
+
+double
+BatchMemoEngine::slotReuseFraction(std::size_t slot) const
+{
+    nlfm_assert(slot < batch_, "slot out of range");
+    std::uint64_t reused = 0;
+    std::uint64_t total = 0;
+    for (std::size_t gate = 0; gate < network_.gateInstances().size();
+         ++gate) {
+        reused += slotReused_[gate * batch_ + slot];
+        total += slotTotal_[gate * batch_ + slot];
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(reused) /
+                            static_cast<double>(total);
+}
+
+} // namespace nlfm::memo

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Batch mode of the fuzzy memoization engine.
+ *
+ * BatchMemoEngine is the BatchGateEvaluator counterpart of MemoEngine:
+ * one engine carries the memo table of a whole batch, with per-neuron-
+ * per-sequence entries (y_m, yb_m, delta_b, valid) laid out structure-of-
+ * arrays with the sequence slot as the minor dimension, so a neuron's
+ * weight row is read once and its decision loop walks contiguous slot
+ * entries.
+ *
+ * Every sequence slot evolves exactly as a serial MemoEngine would evolve
+ * for that sequence alone (shared decision kernels, memo/memo_decision.hh)
+ * — including independent per-sequence throttling state — so outputs and
+ * aggregated ReuseStats match the serial per-sequence run bit for bit,
+ * for any chunk size and worker count.
+ */
+
+#ifndef NLFM_MEMO_MEMO_BATCH_HH
+#define NLFM_MEMO_MEMO_BATCH_HH
+
+#include "memo/memo_engine.hh"
+#include "nn/batch_evaluator.hh"
+
+namespace nlfm::memo
+{
+
+/** Batched fuzzy memoization evaluator. */
+class BatchMemoEngine : public nn::BatchGateEvaluator
+{
+  public:
+    /**
+     * @param network the full-precision network (must outlive the engine)
+     * @param bnn     binarized mirror; required for the BNN predictor
+     * @param options same knobs as the serial engine; recordTrace is a
+     *                serial-path feature and must be off
+     */
+    BatchMemoEngine(const nn::RnnNetwork &network,
+                    nn::BinarizedNetwork *bnn, const MemoOptions &options);
+
+    void setTheta(double theta);
+    double theta() const { return options_.theta; }
+    const MemoOptions &options() const { return options_; }
+
+    /** Cold-start every slot's memo table and reuse counters. */
+    void beginBatch(std::size_t total_sequences) override;
+
+    void evaluateGateBatch(const nn::GateInstance &instance,
+                           const nn::GateParams &params,
+                           const tensor::Matrix &x, const tensor::Matrix &h,
+                           std::span<const std::size_t> rows,
+                           std::size_t slot_base,
+                           tensor::Matrix &preact) override;
+
+    /**
+     * Reuse counters of the current batch, reduced over slots in slot
+     * order — a pure function of per-slot counters, so identical for
+     * every worker count.
+     */
+    ReuseStats stats() const;
+
+    /** Reuse fraction of one sequence slot. */
+    double slotReuseFraction(std::size_t slot) const;
+
+  private:
+    void evaluateOracleBatch(const nn::GateInstance &instance,
+                             const nn::GateParams &params,
+                             const tensor::Matrix &x,
+                             const tensor::Matrix &h,
+                             std::span<const std::size_t> rows,
+                             std::size_t slot_base, tensor::Matrix &preact);
+    void evaluateBnnBatch(const nn::GateInstance &instance,
+                          const nn::GateParams &params,
+                          const tensor::Matrix &x, const tensor::Matrix &h,
+                          std::span<const std::size_t> rows,
+                          std::size_t slot_base, tensor::Matrix &preact);
+
+    const nn::RnnNetwork &network_;
+    nn::BinarizedNetwork *bnn_;
+    MemoOptions options_;
+    Q16 thetaQ_;
+
+    std::size_t batch_ = 0;
+
+    // Memo table, SoA over [neuron][slot]: index flat_neuron * batch_ +
+    // slot. Distinct slots belong to distinct sequences, so concurrent
+    // chunks touch disjoint entries.
+    std::vector<float> cachedOutput_;     ///< y_m
+    std::vector<std::int32_t> cachedBnn_; ///< yb_m
+    std::vector<std::int64_t> deltaRaw_;  ///< delta_b (Q16 raw)
+    std::vector<double> deltaFp_;         ///< delta_b (double path)
+    std::vector<std::uint8_t> valid_;
+
+    // Per-gate-instance, per-slot counters: index gate * batch_ + slot.
+    std::vector<std::uint64_t> slotReused_;
+    std::vector<std::uint64_t> slotTotal_;
+};
+
+} // namespace nlfm::memo
+
+#endif // NLFM_MEMO_MEMO_BATCH_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The per-neuron reuse decision, shared by the serial MemoEngine and the
+ * batched BatchMemoEngine.
+ *
+ * Keeping Eqs. 9-14 in one place guarantees the two execution paths make
+ * bit-identical decisions: the batch path is a scheduling change, not a
+ * numerical one.
+ */
+
+#ifndef NLFM_MEMO_MEMO_DECISION_HH
+#define NLFM_MEMO_MEMO_DECISION_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/fixed_point.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm::memo
+{
+
+/** Outcome of the BNN predictor for one neuron at one timestep. */
+struct BnnDecision
+{
+    bool reuse = false;
+    /** delta_b to store when reusing (Q16 raw / double path). */
+    std::int64_t deltaRaw = 0;
+    double deltaFp = 0.0;
+};
+
+/**
+ * BNN reuse decision (Eqs. 12-14): relative BNN difference, throttling
+ * accumulation, and the theta comparison in Q16.16 or double.
+ *
+ * @param yb_t     current binarized output
+ * @param yb_m     cached binarized output (ignored unless @p valid)
+ * @param valid    memo entry holds a value
+ * @param prev_raw accumulated delta_b, Q16 raw (fixed-point path)
+ * @param prev_fp  accumulated delta_b (double path)
+ */
+inline BnnDecision
+bnnReuseDecision(std::int32_t yb_t, std::int32_t yb_m, bool valid,
+                 std::int64_t prev_raw, double prev_fp, bool throttle,
+                 bool fixed_point, double theta, Q16 theta_q)
+{
+    BnnDecision decision;
+    if (!valid)
+        return decision;
+
+    if (yb_t == 0) {
+        // Relative error undefined; only a bit-identical BNN output
+        // counts as "no change".
+        if (yb_m == 0) {
+            decision.deltaRaw = throttle ? prev_raw : 0;
+            decision.deltaFp = throttle ? prev_fp : 0.0;
+            decision.reuse =
+                fixed_point ? Q16::fromRaw(decision.deltaRaw) <= theta_q
+                            : decision.deltaFp <= theta;
+        }
+    } else if (fixed_point) {
+        // eps_b in Q16.16: |yb_t - yb_m| / |yb_t| (Eq. 12).
+        const std::int64_t diff =
+            std::abs(static_cast<std::int64_t>(yb_t) - yb_m);
+        const std::int64_t mag =
+            std::abs(static_cast<std::int64_t>(yb_t));
+        const Q16 eps = Q16::fromRaw((diff << 16) / mag);
+        const Q16 prev = Q16::fromRaw(throttle ? prev_raw : 0);
+        const Q16 delta = prev + eps; // Eq. 13
+        decision.deltaRaw = delta.raw();
+        decision.reuse = delta <= theta_q; // Eq. 14
+    } else {
+        const double eps = tensor::relativeDifference(
+            static_cast<double>(yb_t), static_cast<double>(yb_m));
+        decision.deltaFp = (throttle ? prev_fp : 0.0) + eps;
+        decision.reuse = decision.deltaFp <= theta;
+    }
+    return decision;
+}
+
+/**
+ * Oracle reuse decision (Eq. 9): reuse while the true relative output
+ * change stays within theta.
+ */
+inline bool
+oracleReuseDecision(float y_t, float y_m, bool valid, double theta)
+{
+    return valid && tensor::relativeDifference(y_t, y_m) <= theta;
+}
+
+} // namespace nlfm::memo
+
+#endif // NLFM_MEMO_MEMO_DECISION_HH

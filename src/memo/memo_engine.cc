@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.hh"
+#include "memo/memo_decision.hh"
 #include "tensor/vector_ops.hh"
 
 namespace nlfm::memo
@@ -99,12 +100,8 @@ MemoEngine::evaluateOracle(const nn::GateInstance &instance,
         for (std::size_t n = begin; n < end; ++n) {
             const std::size_t flat = instance.neuronBase + n;
             const float y_t = nn::evaluateNeuron(params, n, x, h);
-            bool reuse = false;
-            if (valid_[flat]) {
-                const double delta = tensor::relativeDifference(
-                    y_t, cachedOutput_[flat]);
-                reuse = delta <= theta;
-            }
+            const bool reuse = oracleReuseDecision(
+                y_t, cachedOutput_[flat], valid_[flat] != 0, theta);
             if (reuse) {
                 // Use the stale value (Eq. 10); the memo entry is kept
                 // (Eq. 11).
@@ -144,48 +141,16 @@ MemoEngine::evaluateBnn(const nn::GateInstance &instance,
             const std::size_t flat = instance.neuronBase + n;
             const std::int32_t yb_t = bgate.output(n);
 
-            bool reuse = false;
-            std::int64_t delta_raw = 0;
-            double delta_fp = 0.0;
+            const BnnDecision decision = bnnReuseDecision(
+                yb_t, cachedBnn_[flat], valid_[flat] != 0,
+                deltaRaw_[flat], deltaFp_[flat], throttle, fixed_point,
+                theta, theta_q);
 
-            if (valid_[flat]) {
-                const std::int32_t yb_m = cachedBnn_[flat];
-                if (yb_t == 0) {
-                    // Relative error undefined; only a bit-identical BNN
-                    // output counts as "no change".
-                    if (yb_m == 0) {
-                        delta_raw = throttle ? deltaRaw_[flat] : 0;
-                        delta_fp = throttle ? deltaFp_[flat] : 0.0;
-                        reuse = fixed_point
-                                    ? Q16::fromRaw(delta_raw) <= theta_q
-                                    : delta_fp <= theta;
-                    }
-                } else if (fixed_point) {
-                    // eps_b in Q16.16: |yb_t - yb_m| / |yb_t| (Eq. 12).
-                    const std::int64_t diff =
-                        std::abs(static_cast<std::int64_t>(yb_t) - yb_m);
-                    const std::int64_t mag = std::abs(
-                        static_cast<std::int64_t>(yb_t));
-                    const Q16 eps = Q16::fromRaw((diff << 16) / mag);
-                    const Q16 prev = Q16::fromRaw(
-                        throttle ? deltaRaw_[flat] : 0);
-                    const Q16 delta = prev + eps; // Eq. 13
-                    delta_raw = delta.raw();
-                    reuse = delta <= theta_q; // Eq. 14
-                } else {
-                    const double eps = tensor::relativeDifference(
-                        static_cast<double>(yb_t),
-                        static_cast<double>(cachedBnn_[flat]));
-                    delta_fp = (throttle ? deltaFp_[flat] : 0.0) + eps;
-                    reuse = delta_fp <= theta;
-                }
-            }
-
-            if (reuse) {
+            if (decision.reuse) {
                 // Eq. 14 top: bypass the DPU, emit the cached output.
                 preact[n] = cachedOutput_[flat];
-                deltaRaw_[flat] = delta_raw;
-                deltaFp_[flat] = delta_fp;
+                deltaRaw_[flat] = decision.deltaRaw;
+                deltaFp_[flat] = decision.deltaFp;
                 ++local_hits;
             } else {
                 // Eqs. 15-17: full evaluation, refresh the whole entry.

@@ -1,0 +1,27 @@
+#include "nn/batch_evaluator.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::nn
+{
+
+void
+DirectBatchEvaluator::evaluateGateBatch(const GateInstance &instance,
+                                        const GateParams &params,
+                                        const tensor::Matrix &x,
+                                        const tensor::Matrix &h,
+                                        std::span<const std::size_t> rows,
+                                        std::size_t slot_base,
+                                        tensor::Matrix &preact)
+{
+    (void)slot_base;
+    nlfm_assert(preact.cols() == instance.neurons,
+                "preact panel width mismatch for gate instance ",
+                instance.instanceId);
+    // Two panel passes: preact = Wx * x_b, then += Wh * h_b. Per row this
+    // is the same float(dot + dot) the serial DirectEvaluator computes.
+    params.wx.matvecPanel(x, rows, preact, false);
+    params.wh.matvecPanel(h, rows, preact, true);
+}
+
+} // namespace nlfm::nn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Batched counterpart of the GateEvaluator seam.
+ *
+ * The serial seam (nn/gate.hh) evaluates one gate for one sequence per
+ * call; the batched seam evaluates one gate for a whole panel of
+ * sequences, so implementations can stream each neuron's weight row
+ * across the batch instead of re-reading all weights per sequence.
+ *
+ * Contract mirroring the serial seam: for every active row b the filled
+ * pre-activations must be bitwise identical to what the corresponding
+ * serial evaluator would produce for sequence b alone. Rows not listed in
+ * @p rows (finished sequences) must be left untouched.
+ */
+
+#ifndef NLFM_NN_BATCH_EVALUATOR_HH
+#define NLFM_NN_BATCH_EVALUATOR_HH
+
+#include "nn/gate.hh"
+
+namespace nlfm::nn
+{
+
+/**
+ * Recurrent state of one cell for a whole batch. h and c are
+ * [B x hidden] (row b = sequence slot b); preact holds one [B x hidden]
+ * scratch panel per gate; scratch is the GRU reset-modulated hidden
+ * panel. Owned per evaluation chunk, so concurrent chunks never share
+ * mutable state.
+ */
+struct BatchCellState
+{
+    tensor::Matrix h;
+    tensor::Matrix c;
+    std::vector<tensor::Matrix> preact;
+    tensor::Matrix scratch;
+};
+
+/**
+ * Strategy for computing one gate's pre-activations across a panel of
+ * sequences.
+ *
+ * Calls may come from several worker threads concurrently, each covering
+ * a disjoint set of sequence slots; implementations keyed by slot (the
+ * batched memo engine) index their state with slot_base + local row and
+ * must keep per-slot entries disjoint.
+ */
+class BatchGateEvaluator
+{
+  public:
+    virtual ~BatchGateEvaluator() = default;
+
+    /**
+     * Reset per-batch state for @p total_sequences slots; called once by
+     * RnnNetwork::forwardBatch before any panel work starts.
+     */
+    virtual void beginBatch(std::size_t total_sequences)
+    {
+        (void)total_sequences;
+    }
+
+    /**
+     * Fill preact(b, n) for every row b in @p rows and neuron n.
+     *
+     * @param x         [B x xSize] forward-input panel
+     * @param h         [B x hSize] recurrent-input panel
+     * @param rows      active rows (ascending, within this chunk's panel)
+     * @param slot_base global sequence index of panel row 0
+     * @param preact    [B x neurons] output panel
+     */
+    virtual void evaluateGateBatch(const GateInstance &instance,
+                                   const GateParams &params,
+                                   const tensor::Matrix &x,
+                                   const tensor::Matrix &h,
+                                   std::span<const std::size_t> rows,
+                                   std::size_t slot_base,
+                                   tensor::Matrix &preact) = 0;
+};
+
+/**
+ * Baseline batched evaluator: exact full-precision panel products,
+ * bitwise identical per row to DirectEvaluator.
+ */
+class DirectBatchEvaluator : public BatchGateEvaluator
+{
+  public:
+    void evaluateGateBatch(const GateInstance &instance,
+                           const GateParams &params, const tensor::Matrix &x,
+                           const tensor::Matrix &h,
+                           std::span<const std::size_t> rows,
+                           std::size_t slot_base,
+                           tensor::Matrix &preact) override;
+};
+
+} // namespace nlfm::nn
+
+#endif // NLFM_NN_BATCH_EVALUATOR_HH

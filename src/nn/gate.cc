@@ -11,8 +11,8 @@ float
 evaluateNeuron(const GateParams &params, std::size_t neuron,
                std::span<const float> x, std::span<const float> h)
 {
-    return tensor::dot(params.wx.row(neuron), x) +
-           tensor::dot(params.wh.row(neuron), h);
+    return tensor::dotPair(params.wx.row(neuron), x,
+                           params.wh.row(neuron), h);
 }
 
 void

@@ -36,6 +36,12 @@ class GruCell : public RnnCell
     void step(std::span<const float> x, CellState &state,
               GateEvaluator &eval) override;
 
+    BatchCellState makeBatchState(std::size_t batch) const override;
+
+    void stepBatch(const tensor::Matrix &x,
+                   std::span<const std::size_t> rows, std::size_t slot_base,
+                   BatchCellState &state, BatchGateEvaluator &eval) override;
+
   private:
     // Per-step scratch: pre-activations of the three gates + r.h buffer.
     std::vector<float> preact_[3];

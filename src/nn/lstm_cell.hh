@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "nn/batch_evaluator.hh"
 #include "nn/gate.hh"
 
 namespace nlfm::nn
@@ -60,6 +61,24 @@ class RnnCell
     virtual void step(std::span<const float> x, CellState &state,
                       GateEvaluator &eval) = 0;
 
+    /**
+     * Allocate a zeroed batch state (h/c panels plus per-gate scratch)
+     * for @p batch sequence slots. States are owned by the caller, so
+     * concurrent chunks stepping the same shared cell never race.
+     */
+    virtual BatchCellState makeBatchState(std::size_t batch) const = 0;
+
+    /**
+     * Advance one timestep for every row in @p rows of the panel @p x.
+     * Rows not listed (finished sequences) keep their state untouched.
+     * Per row the update is bitwise identical to step() on that
+     * sequence alone.
+     */
+    virtual void stepBatch(const tensor::Matrix &x,
+                           std::span<const std::size_t> rows,
+                           std::size_t slot_base, BatchCellState &state,
+                           BatchGateEvaluator &eval) = 0;
+
   protected:
     std::size_t xSize_;
     std::size_t hidden_;
@@ -93,6 +112,12 @@ class LstmCell : public RnnCell
 
     void step(std::span<const float> x, CellState &state,
               GateEvaluator &eval) override;
+
+    BatchCellState makeBatchState(std::size_t batch) const override;
+
+    void stepBatch(const tensor::Matrix &x,
+                   std::span<const std::size_t> rows, std::size_t slot_base,
+                   BatchCellState &state, BatchGateEvaluator &eval) override;
 
   private:
     bool peepholes_;

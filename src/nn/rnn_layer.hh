@@ -12,6 +12,7 @@
 
 #include "nn/gru_cell.hh"
 #include "nn/lstm_cell.hh"
+#include "tensor/batch.hh"
 
 namespace nlfm::nn
 {
@@ -52,6 +53,19 @@ class RnnLayer
      */
     void forward(const Sequence &inputs, GateEvaluator &eval,
                  Sequence &outputs);
+
+    /**
+     * Run a whole batch panel-wise through the layer.
+     *
+     * @p outputs must be shaped Batch(outputSize(), inputs.lengths()).
+     * @p slot_base is the global sequence index of panel row 0 (forwarded
+     * to the evaluator so slot-keyed state lines up across chunks). Each
+     * sequence's outputs are bitwise identical to forward() on that
+     * sequence alone; backward cells consume each sequence's own reversed
+     * traversal regardless of padding.
+     */
+    void forwardBatch(const tensor::Batch &inputs, std::size_t slot_base,
+                      BatchGateEvaluator &eval, tensor::Batch &outputs);
 
   private:
     std::size_t layerIndex_;

@@ -1,6 +1,9 @@
 #include "nn/rnn_network.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace nlfm::nn
 {
@@ -98,6 +101,62 @@ RnnNetwork::forwardBaseline(const Sequence &inputs)
 {
     DirectEvaluator eval;
     return forward(inputs, eval);
+}
+
+std::vector<Sequence>
+RnnNetwork::forwardBatch(std::span<const Sequence> inputs,
+                         BatchGateEvaluator &eval,
+                         const BatchForwardOptions &options)
+{
+    eval.beginBatch(inputs.size());
+    std::vector<Sequence> outputs(inputs.size());
+    if (inputs.empty())
+        return outputs;
+
+    const std::size_t chunk_size = std::max<std::size_t>(1,
+                                                         options.chunkSize);
+    const std::size_t chunks =
+        (inputs.size() + chunk_size - 1) / chunk_size;
+
+    // One task per sequence chunk. Chunk boundaries depend only on
+    // chunkSize, so panel composition — and therefore every float — is
+    // identical no matter how many workers pick the tasks up.
+    const auto run_chunk = [&](std::size_t chunk) {
+        const std::size_t begin = chunk * chunk_size;
+        const std::size_t end =
+            std::min(inputs.size(), begin + chunk_size);
+        tensor::Batch current = tensor::Batch::pack(
+            inputs.subspan(begin, end - begin), config_.inputSize);
+        for (auto &stack_layer : layers_) {
+            tensor::Batch next(stack_layer.outputSize(),
+                               current.lengths());
+            stack_layer.forwardBatch(current, begin, eval, next);
+            current = std::move(next);
+        }
+        for (std::size_t b = begin; b < end; ++b)
+            outputs[b] = current.unpackSequence(b - begin);
+    };
+
+    if (options.threaded) {
+        ThreadPool &pool =
+            options.pool != nullptr ? *options.pool : ThreadPool::global();
+        pool.run(chunks, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t chunk = begin; chunk < end; ++chunk)
+                run_chunk(chunk);
+        });
+    } else {
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk)
+            run_chunk(chunk);
+    }
+    return outputs;
+}
+
+std::vector<Sequence>
+RnnNetwork::forwardBatchBaseline(std::span<const Sequence> inputs,
+                                 const BatchForwardOptions &options)
+{
+    DirectBatchEvaluator eval;
+    return forwardBatch(inputs, eval, options);
 }
 
 } // namespace nlfm::nn

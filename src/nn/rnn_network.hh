@@ -7,12 +7,41 @@
 #ifndef NLFM_NN_RNN_NETWORK_HH
 #define NLFM_NN_RNN_NETWORK_HH
 
+#include <span>
 #include <vector>
 
 #include "nn/rnn_layer.hh"
 
+namespace nlfm
+{
+class ThreadPool;
+}
+
 namespace nlfm::nn
 {
+
+/**
+ * Scheduling knobs of the batched forward path.
+ *
+ * The batch is split into fixed-size chunks of consecutive sequences;
+ * each chunk runs the whole stack with panel kernels and the chunks are
+ * distributed over the thread pool. Chunk boundaries depend only on
+ * chunkSize — never on worker count — so results and statistics are
+ * reproducible for any pool size.
+ */
+struct BatchForwardOptions
+{
+    /** Pool to schedule chunks on; null means ThreadPool::global(). */
+    ThreadPool *pool = nullptr;
+    /** Sequences per chunk (weight reads amortize across a chunk). */
+    std::size_t chunkSize = 8;
+    /**
+     * Schedule chunks on the thread pool; false runs every chunk on
+     * the calling thread (debugging / baselines), with identical
+     * results either way.
+     */
+    bool threaded = true;
+};
 
 /**
  * Stacked deep RNN (paper §2.1.1).
@@ -60,6 +89,24 @@ class RnnNetwork
 
     /** Convenience: forward with the exact full-precision evaluator. */
     Sequence forwardBaseline(const Sequence &inputs);
+
+    /**
+     * Run many sequences through the stack with panel kernels and
+     * sequence-chunk parallelism.
+     *
+     * Calls eval.beginBatch(inputs.size()) once, then evaluates every
+     * chunk through the batched seam. Output i is bitwise identical to
+     * forward(inputs[i], serial counterpart of eval) for every chunk
+     * size, worker count, and batch composition.
+     */
+    std::vector<Sequence> forwardBatch(
+        std::span<const Sequence> inputs, BatchGateEvaluator &eval,
+        const BatchForwardOptions &options = {});
+
+    /** Convenience: batched forward with the exact evaluator. */
+    std::vector<Sequence> forwardBatchBaseline(
+        std::span<const Sequence> inputs,
+        const BatchForwardOptions &options = {});
 
   private:
     RnnConfig config_;

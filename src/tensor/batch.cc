@@ -1,0 +1,88 @@
+#include "tensor/batch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::tensor
+{
+
+Batch::Batch(std::size_t width, std::span<const std::size_t> lengths)
+    : width_(width), lengths_(lengths.begin(), lengths.end())
+{
+    const std::size_t steps =
+        lengths.empty() ? 0
+                        : *std::max_element(lengths.begin(), lengths.end());
+    panels_.assign(steps, Matrix(lengths_.size(), width_));
+    active_.resize(steps);
+    for (std::size_t t = 0; t < steps; ++t)
+        for (std::size_t b = 0; b < lengths_.size(); ++b)
+            if (lengths_[b] > t)
+                active_[t].push_back(b);
+}
+
+Batch
+Batch::pack(std::span<const std::vector<std::vector<float>>> sequences,
+            std::size_t width)
+{
+    std::vector<std::size_t> lengths(sequences.size());
+    for (std::size_t b = 0; b < sequences.size(); ++b)
+        lengths[b] = sequences[b].size();
+
+    Batch batch(width, lengths);
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        for (std::size_t t = 0; t < sequences[b].size(); ++t) {
+            const auto &step = sequences[b][t];
+            nlfm_assert(step.size() == width,
+                        "batch pack: sequence ", b, " step ", t, " width ",
+                        step.size(), " != ", width);
+            std::copy(step.begin(), step.end(),
+                      batch.panels_[t].row(b).begin());
+        }
+    }
+    return batch;
+}
+
+Matrix &
+Batch::panel(std::size_t t)
+{
+    nlfm_assert(t < panels_.size(), "batch panel out of range");
+    return panels_[t];
+}
+
+const Matrix &
+Batch::panel(std::size_t t) const
+{
+    nlfm_assert(t < panels_.size(), "batch panel out of range");
+    return panels_[t];
+}
+
+std::span<const std::size_t>
+Batch::activeRows(std::size_t t) const
+{
+    nlfm_assert(t < active_.size(), "batch step out of range");
+    return active_[t];
+}
+
+std::vector<std::vector<float>>
+Batch::unpackSequence(std::size_t b) const
+{
+    nlfm_assert(b < lengths_.size(), "batch slot out of range");
+    std::vector<std::vector<float>> sequence(lengths_[b]);
+    for (std::size_t t = 0; t < lengths_[b]; ++t) {
+        auto row = panels_[t].row(b);
+        sequence[t].assign(row.begin(), row.end());
+    }
+    return sequence;
+}
+
+std::vector<std::vector<std::vector<float>>>
+Batch::unpack() const
+{
+    std::vector<std::vector<std::vector<float>>> sequences(lengths_.size());
+    for (std::size_t b = 0; b < lengths_.size(); ++b)
+        sequences[b] = unpackSequence(b);
+    return sequences;
+}
+
+} // namespace nlfm::tensor

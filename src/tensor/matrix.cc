@@ -63,4 +63,55 @@ Matrix::matvecTransposeAccum(std::span<const float> g,
     }
 }
 
+void
+Matrix::matvecPanel(const Matrix &inputs, std::span<const std::size_t> rows,
+                    Matrix &out, bool accumulate) const
+{
+    nlfm_assert(inputs.cols() == cols_, "matvecPanel: input width ",
+                inputs.cols(), " != cols ", cols_);
+    nlfm_assert(out.rows() == inputs.rows() && out.cols() == rows_,
+                "matvecPanel: out shape mismatch");
+
+    // Gather the live rows' base pointers once; the neuron loop then
+    // streams each weight row across the whole panel via the blocked
+    // kernel. thread_local scratch: this runs per gate per timestep, and
+    // each pool worker reuses its own buffers instead of reallocating.
+    thread_local std::vector<const float *> input_rows;
+    thread_local std::vector<float *> out_rows;
+    thread_local std::vector<float> products;
+    input_rows.resize(rows.size());
+    out_rows.resize(rows.size());
+    products.resize(rows.size());
+    gatherRowPointers(inputs, rows, input_rows);
+    gatherRowPointers(out, rows, out_rows);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        dotLanesRows(row(r), input_rows, products);
+        if (accumulate) {
+            for (std::size_t i = 0; i < rows.size(); ++i)
+                out_rows[i][r] += products[i];
+        } else {
+            for (std::size_t i = 0; i < rows.size(); ++i)
+                out_rows[i][r] = products[i];
+        }
+    }
+}
+
+void
+gatherRowPointers(const Matrix &m, std::span<const std::size_t> rows,
+                  std::span<const float *> out)
+{
+    nlfm_assert(rows.size() == out.size(), "gather: shape mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i] = m.row(rows[i]).data();
+}
+
+void
+gatherRowPointers(Matrix &m, std::span<const std::size_t> rows,
+                  std::span<float *> out)
+{
+    nlfm_assert(rows.size() == out.size(), "gather: shape mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i] = m.row(rows[i]).data();
+}
+
 } // namespace nlfm::tensor

@@ -54,11 +54,38 @@ class Matrix
     void matvecTransposeAccum(std::span<const float> g,
                               std::span<float> out) const;
 
+    /**
+     * GEMV panel kernel for batched evaluation. For each batch row b in
+     * @p rows and each neuron r of this [neurons x width] weight matrix:
+     *
+     *     out(b, r) = dot(row(r), inputs.row(b))      (!accumulate)
+     *     out(b, r) += dot(row(r), inputs.row(b))     (accumulate)
+     *
+     * inputs is [B x width], out is [B x neurons]. Neuron rows are the
+     * outer loop so one weight row is streamed across the whole panel —
+     * the weight-read amortization the batch path exists for. Per-row
+     * results are bitwise identical to dotLanes(row(r), inputs.row(b)),
+     * the explicit-lane kernel the serial gate path (dotPair) uses.
+     */
+    void matvecPanel(const Matrix &inputs, std::span<const std::size_t> rows,
+                     Matrix &out, bool accumulate) const;
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<float> data_;
 };
+
+/**
+ * Fill out[i] with m.row(rows[i]).data() — the row-pointer gather every
+ * batched panel kernel starts with. Kept in one place so the gather
+ * (and any future prefetch/alignment treatment) cannot diverge between
+ * the direct and memoized batch paths.
+ */
+void gatherRowPointers(const Matrix &m, std::span<const std::size_t> rows,
+                       std::span<const float *> out);
+void gatherRowPointers(Matrix &m, std::span<const std::size_t> rows,
+                       std::span<float *> out);
 
 } // namespace nlfm::tensor
 

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the batched evaluation path: Batch packing, panel kernels,
+ * and bitwise identity of forwardBatch / BatchMemoEngine with the serial
+ * per-sequence path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "memo/memo_batch.hh"
+#include "nn/init.hh"
+#include "nn/rnn_network.hh"
+#include "tensor/batch.hh"
+#include "tensor/vector_ops.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+nn::RnnConfig
+smallConfig(nn::CellType type, bool bidirectional)
+{
+    nn::RnnConfig config;
+    config.cellType = type;
+    config.inputSize = 6;
+    config.hiddenSize = 5;
+    config.layers = 2;
+    config.bidirectional = bidirectional;
+    config.peepholes = true;
+    return config;
+}
+
+std::unique_ptr<nn::RnnNetwork>
+buildNetwork(const nn::RnnConfig &config, std::uint64_t seed = 7)
+{
+    auto network = std::make_unique<nn::RnnNetwork>(config);
+    Rng rng(seed);
+    nn::initNetwork(*network, rng);
+    return network;
+}
+
+/** Batch of varying-length sequences; slot 2 (when present) is empty. */
+std::vector<nn::Sequence>
+makeSequences(std::size_t batch, std::size_t width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<nn::Sequence> sequences(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t steps = b == 2 ? 0 : 1 + (b * 5) % 9;
+        sequences[b].assign(steps, std::vector<float>(width));
+        for (auto &frame : sequences[b])
+            rng.fillNormal(frame, 0.0, 1.0);
+    }
+    return sequences;
+}
+
+void
+expectBitwiseEqual(const nn::Sequence &expected, const nn::Sequence &actual,
+                   std::size_t slot)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << "slot " << slot;
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(expected[t].size(), actual[t].size())
+            << "slot " << slot << " step " << t;
+        for (std::size_t i = 0; i < expected[t].size(); ++i)
+            ASSERT_EQ(expected[t][i], actual[t][i])
+                << "slot " << slot << " step " << t << " element " << i;
+    }
+}
+
+// -------------------------------------------------------- tensor::Batch
+
+TEST(BatchTest, PackUnpackRoundTrip)
+{
+    const auto sequences = makeSequences(5, 4, 11);
+    const tensor::Batch batch = tensor::Batch::pack(sequences, 4);
+
+    EXPECT_EQ(batch.size(), 5u);
+    EXPECT_EQ(batch.width(), 4u);
+    EXPECT_EQ(batch.length(2), 0u);
+
+    const auto unpacked = batch.unpack();
+    ASSERT_EQ(unpacked.size(), sequences.size());
+    for (std::size_t b = 0; b < sequences.size(); ++b)
+        expectBitwiseEqual(sequences[b], unpacked[b], b);
+}
+
+TEST(BatchTest, ActiveRowsTrackLengths)
+{
+    const auto sequences = makeSequences(5, 4, 12);
+    const tensor::Batch batch = tensor::Batch::pack(sequences, 4);
+
+    for (std::size_t t = 0; t < batch.maxSteps(); ++t) {
+        const auto rows = batch.activeRows(t);
+        for (std::size_t b = 0; b < batch.size(); ++b) {
+            const bool live = batch.length(b) > t;
+            const bool listed =
+                std::find(rows.begin(), rows.end(), b) != rows.end();
+            EXPECT_EQ(live, listed) << "step " << t << " slot " << b;
+        }
+    }
+}
+
+TEST(BatchTest, PaddingRowsStayZero)
+{
+    const auto sequences = makeSequences(4, 3, 13);
+    const tensor::Batch batch = tensor::Batch::pack(sequences, 3);
+    for (std::size_t t = 0; t < batch.maxSteps(); ++t)
+        for (std::size_t b = 0; b < batch.size(); ++b) {
+            if (batch.length(b) > t)
+                continue;
+            for (const float value : batch.panel(t).row(b))
+                EXPECT_EQ(value, 0.f);
+        }
+}
+
+// -------------------------------------------------------- panel kernels
+
+TEST(MatvecPanelTest, MatchesSerialRowKernelBitwise)
+{
+    // The panel kernel's contract is bitwise identity with the
+    // explicit-lane row kernel (dotLanes) that the serial gate path
+    // evaluates per neuron — for every panel width, including the
+    // blocked 8/4/2/1 grouping paths.
+    Rng rng(3);
+    tensor::Matrix weights(7, 19); // odd width exercises the lane tail
+    for (float &value : weights.data())
+        value = static_cast<float>(rng.normal(0.0, 1.0));
+
+    for (const std::size_t panel_rows : {1u, 2u, 3u, 5u, 8u, 13u}) {
+        tensor::Matrix inputs(panel_rows + 1, 19);
+        for (float &value : inputs.data())
+            value = static_cast<float>(rng.normal(0.0, 1.0));
+
+        std::vector<std::size_t> rows(panel_rows);
+        for (std::size_t i = 0; i < panel_rows; ++i)
+            rows[i] = i + 1; // row 0 inactive
+        tensor::Matrix out(panel_rows + 1, 7);
+        out.at(0, 0) = 42.f; // must remain untouched
+        weights.matvecPanel(inputs, rows, out, false);
+
+        for (const std::size_t b : rows)
+            for (std::size_t r = 0; r < 7; ++r)
+                EXPECT_EQ(out.at(b, r),
+                          tensor::dotLanes(weights.row(r), inputs.row(b)));
+        EXPECT_EQ(out.at(0, 0), 42.f);
+
+        // Accumulate pass adds on top.
+        weights.matvecPanel(inputs, rows, out, true);
+        for (const std::size_t b : rows)
+            for (std::size_t r = 0; r < 7; ++r) {
+                const float once =
+                    tensor::dotLanes(weights.row(r), inputs.row(b));
+                EXPECT_EQ(out.at(b, r), once + once);
+            }
+    }
+}
+
+// ------------------------------------------- forwardBatch == forward
+
+TEST(ForwardBatchTest, BitwiseIdenticalToSerialAcrossTopologies)
+{
+    for (const nn::CellType type :
+         {nn::CellType::Lstm, nn::CellType::Gru}) {
+        for (const bool bidirectional : {false, true}) {
+            const nn::RnnConfig config = smallConfig(type, bidirectional);
+            const auto network = buildNetwork(config);
+            for (const std::size_t batch : {1u, 3u, 17u}) {
+                const auto sequences =
+                    makeSequences(batch, config.inputSize, 100 + batch);
+
+                std::vector<nn::Sequence> serial;
+                for (const auto &sequence : sequences)
+                    serial.push_back(network->forwardBaseline(sequence));
+
+                const auto batched =
+                    network->forwardBatchBaseline(sequences);
+                ASSERT_EQ(batched.size(), serial.size());
+                for (std::size_t b = 0; b < serial.size(); ++b)
+                    expectBitwiseEqual(serial[b], batched[b], b);
+            }
+        }
+    }
+}
+
+TEST(ForwardBatchTest, ChunkSizeDoesNotChangeResults)
+{
+    const nn::RnnConfig config = smallConfig(nn::CellType::Lstm, true);
+    const auto network = buildNetwork(config);
+    const auto sequences = makeSequences(9, config.inputSize, 42);
+
+    const auto reference = network->forwardBatchBaseline(sequences);
+    for (const std::size_t chunk : {1u, 2u, 5u, 64u}) {
+        nn::BatchForwardOptions options;
+        options.chunkSize = chunk;
+        const auto outputs =
+            network->forwardBatchBaseline(sequences, options);
+        for (std::size_t b = 0; b < sequences.size(); ++b)
+            expectBitwiseEqual(reference[b], outputs[b], b);
+    }
+}
+
+// ------------------------------------------------- batched memo engine
+
+TEST(BatchMemoTest, OracleThetaZeroReproducesExactOutputs)
+{
+    for (const nn::CellType type :
+         {nn::CellType::Lstm, nn::CellType::Gru}) {
+        const nn::RnnConfig config = smallConfig(type, type ==
+                                                           nn::CellType::Lstm);
+        const auto network = buildNetwork(config);
+        const auto sequences = makeSequences(6, config.inputSize, 21);
+
+        memo::MemoOptions options;
+        options.predictor = memo::PredictorKind::Oracle;
+        options.theta = 0.0;
+
+        memo::BatchMemoEngine engine(*network, nullptr, options);
+        const auto memoized = network->forwardBatch(sequences, engine);
+
+        for (std::size_t b = 0; b < sequences.size(); ++b)
+            expectBitwiseEqual(network->forwardBaseline(sequences[b]),
+                               memoized[b], b);
+    }
+}
+
+TEST(BatchMemoTest, MatchesSerialEngineOutputsAndStats)
+{
+    for (const memo::PredictorKind predictor :
+         {memo::PredictorKind::Oracle, memo::PredictorKind::Bnn}) {
+        const nn::RnnConfig config = smallConfig(nn::CellType::Lstm, true);
+        const auto network = buildNetwork(config);
+        nn::BinarizedNetwork bnn(*network);
+        const auto sequences = makeSequences(7, config.inputSize, 33);
+
+        memo::MemoOptions options;
+        options.predictor = predictor;
+        options.theta = 0.08;
+
+        // Serial reference: one engine, per-sequence cold start.
+        memo::MemoEngine serial(*network, &bnn, options);
+        std::vector<nn::Sequence> serial_outputs;
+        for (const auto &sequence : sequences)
+            serial_outputs.push_back(network->forward(sequence, serial));
+
+        memo::BatchMemoEngine batched(*network, &bnn, options);
+        const auto batch_outputs =
+            network->forwardBatch(sequences, batched);
+
+        for (std::size_t b = 0; b < sequences.size(); ++b)
+            expectBitwiseEqual(serial_outputs[b], batch_outputs[b], b);
+
+        const memo::ReuseStats stats = batched.stats();
+        EXPECT_EQ(stats.totalSlots(), serial.stats().totalSlots());
+        EXPECT_EQ(stats.totalReused(), serial.stats().totalReused());
+        for (std::size_t gate = 0; gate < network->gateInstances().size();
+             ++gate)
+            EXPECT_EQ(stats.gateReuseFraction(gate),
+                      serial.stats().gateReuseFraction(gate))
+                << "gate " << gate;
+    }
+}
+
+TEST(BatchMemoTest, ThrottlingStateIsPerSequence)
+{
+    // A batch of identical sequences must give every slot the same
+    // decisions — and the same decisions a lone serial run makes. A
+    // shared (non-slot-indexed) delta_b would accumulate across slots
+    // and throttle later slots harder.
+    const nn::RnnConfig config = smallConfig(nn::CellType::Gru, false);
+    const auto network = buildNetwork(config);
+    nn::BinarizedNetwork bnn(*network);
+
+    const auto one = makeSequences(1, config.inputSize, 55);
+    const std::vector<nn::Sequence> repeated(5, one[0]);
+
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = 0.1;
+
+    memo::MemoEngine serial(*network, &bnn, options);
+    const nn::Sequence reference = network->forward(one[0], serial);
+    const double serial_reuse = serial.stats().reuseFraction();
+
+    memo::BatchMemoEngine batched(*network, &bnn, options);
+    const auto outputs = network->forwardBatch(repeated, batched);
+    for (std::size_t b = 0; b < repeated.size(); ++b) {
+        expectBitwiseEqual(reference, outputs[b], b);
+        EXPECT_EQ(batched.slotReuseFraction(b), serial_reuse)
+            << "slot " << b;
+    }
+}
+
+} // namespace
+} // namespace nlfm
