@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_determinism_test.dir/tests/batch_determinism_test.cc.o"
+  "CMakeFiles/batch_determinism_test.dir/tests/batch_determinism_test.cc.o.d"
+  "batch_determinism_test"
+  "batch_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fmu_pipelining.dir/bench/ablation_fmu_pipelining.cc.o"
+  "CMakeFiles/bench_ablation_fmu_pipelining.dir/bench/ablation_fmu_pipelining.cc.o.d"
+  "bench_ablation_fmu_pipelining"
+  "bench_ablation_fmu_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fmu_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_predictor_quality.dir/bench/ablation_predictor_quality.cc.o"
+  "CMakeFiles/bench_ablation_predictor_quality.dir/bench/ablation_predictor_quality.cc.o.d"
+  "bench_ablation_predictor_quality"
+  "bench_ablation_predictor_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_predictor_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_oracle_threshold.dir/bench/fig01_oracle_threshold.cc.o"
+  "CMakeFiles/bench_fig01_oracle_threshold.dir/bench/fig01_oracle_threshold.cc.o.d"
+  "bench_fig01_oracle_threshold"
+  "bench_fig01_oracle_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_oracle_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

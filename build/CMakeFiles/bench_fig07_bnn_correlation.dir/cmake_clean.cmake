@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bnn_correlation.dir/bench/fig07_bnn_correlation.cc.o"
+  "CMakeFiles/bench_fig07_bnn_correlation.dir/bench/fig07_bnn_correlation.cc.o.d"
+  "bench_fig07_bnn_correlation"
+  "bench_fig07_bnn_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bnn_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

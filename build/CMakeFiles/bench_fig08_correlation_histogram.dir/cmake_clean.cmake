@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_correlation_histogram.dir/bench/fig08_correlation_histogram.cc.o"
+  "CMakeFiles/bench_fig08_correlation_histogram.dir/bench/fig08_correlation_histogram.cc.o.d"
+  "bench_fig08_correlation_histogram"
+  "bench_fig08_correlation_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_correlation_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_throttling.dir/bench/fig11_throttling.cc.o"
+  "CMakeFiles/bench_fig11_throttling.dir/bench/fig11_throttling.cc.o.d"
+  "bench_fig11_throttling"
+  "bench_fig11_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

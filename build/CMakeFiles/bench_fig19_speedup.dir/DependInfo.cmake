@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig19_speedup.cc" "CMakeFiles/bench_fig19_speedup.dir/bench/fig19_speedup.cc.o" "gcc" "CMakeFiles/bench_fig19_speedup.dir/bench/fig19_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_epur.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_memo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_summary.dir/bench/headline_summary.cc.o"
+  "CMakeFiles/bench_headline_summary.dir/bench/headline_summary.cc.o.d"
+  "bench_headline_summary"
+  "bench_headline_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_networks.dir/bench/table1_networks.cc.o"
+  "CMakeFiles/bench_table1_networks.dir/bench/table1_networks.cc.o.d"
+  "bench_table1_networks"
+  "bench_table1_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

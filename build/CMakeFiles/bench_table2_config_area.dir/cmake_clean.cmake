@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_config_area.dir/bench/table2_config_area.cc.o"
+  "CMakeFiles/bench_table2_config_area.dir/bench/table2_config_area.cc.o.d"
+  "bench_table2_config_area"
+  "bench_table2_config_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_config_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

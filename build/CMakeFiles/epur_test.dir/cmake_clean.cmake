@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epur_test.dir/tests/epur_test.cc.o"
+  "CMakeFiles/epur_test.dir/tests/epur_test.cc.o.d"
+  "epur_test"
+  "epur_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

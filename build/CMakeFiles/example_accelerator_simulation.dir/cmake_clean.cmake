@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_accelerator_simulation.dir/examples/accelerator_simulation.cc.o"
+  "CMakeFiles/example_accelerator_simulation.dir/examples/accelerator_simulation.cc.o.d"
+  "example_accelerator_simulation"
+  "example_accelerator_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_accelerator_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

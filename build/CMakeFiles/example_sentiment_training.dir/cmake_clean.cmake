@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sentiment_training.dir/examples/sentiment_training.cc.o"
+  "CMakeFiles/example_sentiment_training.dir/examples/sentiment_training.cc.o.d"
+  "example_sentiment_training"
+  "example_sentiment_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sentiment_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

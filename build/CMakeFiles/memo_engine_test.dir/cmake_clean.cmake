@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_engine_test.dir/tests/memo_engine_test.cc.o"
+  "CMakeFiles/memo_engine_test.dir/tests/memo_engine_test.cc.o.d"
+  "memo_engine_test"
+  "memo_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

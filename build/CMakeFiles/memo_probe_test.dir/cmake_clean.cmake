@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_probe_test.dir/tests/memo_probe_test.cc.o"
+  "CMakeFiles/memo_probe_test.dir/tests/memo_probe_test.cc.o.d"
+  "memo_probe_test"
+  "memo_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_properties_test.dir/tests/metrics_properties_test.cc.o"
+  "CMakeFiles/metrics_properties_test.dir/tests/metrics_properties_test.cc.o.d"
+  "metrics_properties_test"
+  "metrics_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

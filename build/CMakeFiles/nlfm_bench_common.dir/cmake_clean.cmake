@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_bench_common.dir/bench/common/bench_common.cc.o"
+  "CMakeFiles/nlfm_bench_common.dir/bench/common/bench_common.cc.o.d"
+  "libnlfm_bench_common.a"
+  "libnlfm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cc" "CMakeFiles/nlfm_common.dir/src/common/cli.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/cli.cc.o.d"
+  "/root/repo/src/common/half.cc" "CMakeFiles/nlfm_common.dir/src/common/half.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/half.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "CMakeFiles/nlfm_common.dir/src/common/histogram.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/nlfm_common.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "CMakeFiles/nlfm_common.dir/src/common/parallel.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/parallel.cc.o.d"
+  "/root/repo/src/common/report.cc" "CMakeFiles/nlfm_common.dir/src/common/report.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/report.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/nlfm_common.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/nlfm_common.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/nlfm_common.dir/src/common/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_common.dir/src/common/cli.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/cli.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/half.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/half.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/histogram.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/histogram.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/logging.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/logging.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/parallel.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/parallel.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/report.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/report.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/rng.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/rng.cc.o.d"
+  "CMakeFiles/nlfm_common.dir/src/common/stats.cc.o"
+  "CMakeFiles/nlfm_common.dir/src/common/stats.cc.o.d"
+  "libnlfm_common.a"
+  "libnlfm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epur/area_model.cc" "CMakeFiles/nlfm_epur.dir/src/epur/area_model.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/area_model.cc.o.d"
+  "/root/repo/src/epur/energy_model.cc" "CMakeFiles/nlfm_epur.dir/src/epur/energy_model.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/energy_model.cc.o.d"
+  "/root/repo/src/epur/epur_config.cc" "CMakeFiles/nlfm_epur.dir/src/epur/epur_config.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/epur_config.cc.o.d"
+  "/root/repo/src/epur/pipeline_sim.cc" "CMakeFiles/nlfm_epur.dir/src/epur/pipeline_sim.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/pipeline_sim.cc.o.d"
+  "/root/repo/src/epur/report.cc" "CMakeFiles/nlfm_epur.dir/src/epur/report.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/report.cc.o.d"
+  "/root/repo/src/epur/simulator.cc" "CMakeFiles/nlfm_epur.dir/src/epur/simulator.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/simulator.cc.o.d"
+  "/root/repo/src/epur/timing_model.cc" "CMakeFiles/nlfm_epur.dir/src/epur/timing_model.cc.o" "gcc" "CMakeFiles/nlfm_epur.dir/src/epur/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_memo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_epur.dir/src/epur/area_model.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/area_model.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/energy_model.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/energy_model.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/epur_config.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/epur_config.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/pipeline_sim.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/pipeline_sim.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/report.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/report.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/simulator.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/simulator.cc.o.d"
+  "CMakeFiles/nlfm_epur.dir/src/epur/timing_model.cc.o"
+  "CMakeFiles/nlfm_epur.dir/src/epur/timing_model.cc.o.d"
+  "libnlfm_epur.a"
+  "libnlfm_epur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_epur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memo/correlation_probe.cc" "CMakeFiles/nlfm_memo.dir/src/memo/correlation_probe.cc.o" "gcc" "CMakeFiles/nlfm_memo.dir/src/memo/correlation_probe.cc.o.d"
+  "/root/repo/src/memo/memo_batch.cc" "CMakeFiles/nlfm_memo.dir/src/memo/memo_batch.cc.o" "gcc" "CMakeFiles/nlfm_memo.dir/src/memo/memo_batch.cc.o.d"
+  "/root/repo/src/memo/memo_engine.cc" "CMakeFiles/nlfm_memo.dir/src/memo/memo_engine.cc.o" "gcc" "CMakeFiles/nlfm_memo.dir/src/memo/memo_engine.cc.o.d"
+  "/root/repo/src/memo/reuse_stats.cc" "CMakeFiles/nlfm_memo.dir/src/memo/reuse_stats.cc.o" "gcc" "CMakeFiles/nlfm_memo.dir/src/memo/reuse_stats.cc.o.d"
+  "/root/repo/src/memo/threshold_tuner.cc" "CMakeFiles/nlfm_memo.dir/src/memo/threshold_tuner.cc.o" "gcc" "CMakeFiles/nlfm_memo.dir/src/memo/threshold_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

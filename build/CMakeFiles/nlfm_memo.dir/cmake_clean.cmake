@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_memo.dir/src/memo/correlation_probe.cc.o"
+  "CMakeFiles/nlfm_memo.dir/src/memo/correlation_probe.cc.o.d"
+  "CMakeFiles/nlfm_memo.dir/src/memo/memo_batch.cc.o"
+  "CMakeFiles/nlfm_memo.dir/src/memo/memo_batch.cc.o.d"
+  "CMakeFiles/nlfm_memo.dir/src/memo/memo_engine.cc.o"
+  "CMakeFiles/nlfm_memo.dir/src/memo/memo_engine.cc.o.d"
+  "CMakeFiles/nlfm_memo.dir/src/memo/reuse_stats.cc.o"
+  "CMakeFiles/nlfm_memo.dir/src/memo/reuse_stats.cc.o.d"
+  "CMakeFiles/nlfm_memo.dir/src/memo/threshold_tuner.cc.o"
+  "CMakeFiles/nlfm_memo.dir/src/memo/threshold_tuner.cc.o.d"
+  "libnlfm_memo.a"
+  "libnlfm_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

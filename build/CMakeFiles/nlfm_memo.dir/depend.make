@@ -1,0 +1,2 @@
+# Empty dependencies file for nlfm_memo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/accuracy.cc" "CMakeFiles/nlfm_metrics.dir/src/metrics/accuracy.cc.o" "gcc" "CMakeFiles/nlfm_metrics.dir/src/metrics/accuracy.cc.o.d"
+  "/root/repo/src/metrics/bleu.cc" "CMakeFiles/nlfm_metrics.dir/src/metrics/bleu.cc.o" "gcc" "CMakeFiles/nlfm_metrics.dir/src/metrics/bleu.cc.o.d"
+  "/root/repo/src/metrics/edit_distance.cc" "CMakeFiles/nlfm_metrics.dir/src/metrics/edit_distance.cc.o" "gcc" "CMakeFiles/nlfm_metrics.dir/src/metrics/edit_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/accuracy.cc.o"
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/accuracy.cc.o.d"
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/bleu.cc.o"
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/bleu.cc.o.d"
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/edit_distance.cc.o"
+  "CMakeFiles/nlfm_metrics.dir/src/metrics/edit_distance.cc.o.d"
+  "libnlfm_metrics.a"
+  "libnlfm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnlfm_metrics.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "CMakeFiles/nlfm_nn.dir/src/nn/activations.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/activations.cc.o.d"
+  "/root/repo/src/nn/batch_evaluator.cc" "CMakeFiles/nlfm_nn.dir/src/nn/batch_evaluator.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/batch_evaluator.cc.o.d"
+  "/root/repo/src/nn/binarized.cc" "CMakeFiles/nlfm_nn.dir/src/nn/binarized.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/binarized.cc.o.d"
+  "/root/repo/src/nn/gate.cc" "CMakeFiles/nlfm_nn.dir/src/nn/gate.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/gate.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "CMakeFiles/nlfm_nn.dir/src/nn/gru_cell.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/gru_cell.cc.o.d"
+  "/root/repo/src/nn/init.cc" "CMakeFiles/nlfm_nn.dir/src/nn/init.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/init.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "CMakeFiles/nlfm_nn.dir/src/nn/lstm_cell.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/quantized.cc" "CMakeFiles/nlfm_nn.dir/src/nn/quantized.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/quantized.cc.o.d"
+  "/root/repo/src/nn/rnn_layer.cc" "CMakeFiles/nlfm_nn.dir/src/nn/rnn_layer.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/rnn_layer.cc.o.d"
+  "/root/repo/src/nn/rnn_network.cc" "CMakeFiles/nlfm_nn.dir/src/nn/rnn_network.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/rnn_network.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "CMakeFiles/nlfm_nn.dir/src/nn/serialize.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/train.cc" "CMakeFiles/nlfm_nn.dir/src/nn/train.cc.o" "gcc" "CMakeFiles/nlfm_nn.dir/src/nn/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

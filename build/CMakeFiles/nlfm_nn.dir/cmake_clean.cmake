@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_nn.dir/src/nn/activations.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/activations.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/batch_evaluator.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/batch_evaluator.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/binarized.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/binarized.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/gate.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/gate.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/gru_cell.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/gru_cell.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/init.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/init.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/lstm_cell.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/lstm_cell.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/quantized.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/quantized.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/rnn_layer.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/rnn_layer.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/rnn_network.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/rnn_network.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/serialize.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/serialize.cc.o.d"
+  "CMakeFiles/nlfm_nn.dir/src/nn/train.cc.o"
+  "CMakeFiles/nlfm_nn.dir/src/nn/train.cc.o.d"
+  "libnlfm_nn.a"
+  "libnlfm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/batch.cc" "CMakeFiles/nlfm_tensor.dir/src/tensor/batch.cc.o" "gcc" "CMakeFiles/nlfm_tensor.dir/src/tensor/batch.cc.o.d"
+  "/root/repo/src/tensor/bitpack.cc" "CMakeFiles/nlfm_tensor.dir/src/tensor/bitpack.cc.o" "gcc" "CMakeFiles/nlfm_tensor.dir/src/tensor/bitpack.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "CMakeFiles/nlfm_tensor.dir/src/tensor/matrix.cc.o" "gcc" "CMakeFiles/nlfm_tensor.dir/src/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/vector_ops.cc" "CMakeFiles/nlfm_tensor.dir/src/tensor/vector_ops.cc.o" "gcc" "CMakeFiles/nlfm_tensor.dir/src/tensor/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

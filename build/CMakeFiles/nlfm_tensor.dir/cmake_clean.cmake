@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/batch.cc.o"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/batch.cc.o.d"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/bitpack.cc.o"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/bitpack.cc.o.d"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/matrix.cc.o"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/matrix.cc.o.d"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/vector_ops.cc.o"
+  "CMakeFiles/nlfm_tensor.dir/src/tensor/vector_ops.cc.o.d"
+  "libnlfm_tensor.a"
+  "libnlfm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

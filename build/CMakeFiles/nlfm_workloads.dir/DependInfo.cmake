@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/evaluators.cc" "CMakeFiles/nlfm_workloads.dir/src/workloads/evaluators.cc.o" "gcc" "CMakeFiles/nlfm_workloads.dir/src/workloads/evaluators.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "CMakeFiles/nlfm_workloads.dir/src/workloads/generators.cc.o" "gcc" "CMakeFiles/nlfm_workloads.dir/src/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/model_zoo.cc" "CMakeFiles/nlfm_workloads.dir/src/workloads/model_zoo.cc.o" "gcc" "CMakeFiles/nlfm_workloads.dir/src/workloads/model_zoo.cc.o.d"
+  "/root/repo/src/workloads/tasks.cc" "CMakeFiles/nlfm_workloads.dir/src/workloads/tasks.cc.o" "gcc" "CMakeFiles/nlfm_workloads.dir/src/workloads/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nlfm_memo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/nlfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/evaluators.cc.o"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/evaluators.cc.o.d"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/generators.cc.o"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/generators.cc.o.d"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/model_zoo.cc.o"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/model_zoo.cc.o.d"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/tasks.cc.o"
+  "CMakeFiles/nlfm_workloads.dir/src/workloads/tasks.cc.o.d"
+  "libnlfm_workloads.a"
+  "libnlfm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlfm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
