@@ -18,6 +18,7 @@
 #include "common/bench_common.hh"
 #include "common/parallel.hh"
 #include "memo/memo_batch.hh"
+#include "tensor/bitpack.hh"
 
 namespace
 {
@@ -59,6 +60,18 @@ measureDirect(nn::RnnNetwork &network,
     return sample;
 }
 
+/** Time one memoized batch pass only (no serial reference run). */
+double
+measureMemoBatch(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+                 std::span<const nn::Sequence> inputs,
+                 const memo::MemoOptions &options)
+{
+    memo::BatchMemoEngine batched(network, &bnn, options);
+    const auto start = std::chrono::steady_clock::now();
+    network.forwardBatch(inputs, batched);
+    return secondsSince(start);
+}
+
 Sample
 measureMemo(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
             std::span<const nn::Sequence> inputs,
@@ -66,15 +79,11 @@ measureMemo(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
 {
     Sample sample;
     memo::MemoEngine serial(network, &bnn, options);
-    auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();
     for (const auto &sequence : inputs)
         network.forward(sequence, serial);
     sample.serialSec = secondsSince(start);
-
-    memo::BatchMemoEngine batched(network, &bnn, options);
-    start = std::chrono::steady_clock::now();
-    network.forwardBatch(inputs, batched);
-    sample.batchSec = secondsSince(start);
+    sample.batchSec = measureMemoBatch(network, bnn, inputs, options);
     return sample;
 }
 
@@ -131,6 +140,7 @@ main(int argc, char **argv)
 
     double direct_speedup_at_8 = 0.0;
     double memo_speedup_at_8 = 0.0;
+    Sample direct_at_max;
     for (const std::size_t batch : batches) {
         const auto inputs = all.subspan(0, batch);
         const Sample direct = measureDirect(network, inputs);
@@ -147,10 +157,35 @@ main(int argc, char **argv)
             direct_speedup_at_8 = direct.speedup();
             memo_speedup_at_8 = memoized.speedup();
         }
+        if (batch == max_batch)
+            direct_at_max = direct;
     }
 
     std::printf("\nspeedup at batch >= 8: direct %.2fx, memoized %.2fx "
                 "(target >= 2x)\n",
                 direct_speedup_at_8, memo_speedup_at_8);
+
+    // Low-reuse probe accounting: at a small theta almost every neuron
+    // pays probe + decision + full evaluation, so the gap between the
+    // memoized and the direct batch pass bounds the predictor's total
+    // overhead (probe kernels, input binarization, reuse decisions,
+    // table refreshes).
+    memo::MemoOptions low_options = memo_options;
+    low_options.theta = 0.01;
+    const auto inputs = all.subspan(0, max_batch);
+    const double low_sec =
+        measureMemoBatch(network, bnn, inputs, low_options);
+    const double overhead =
+        low_sec > 0.0 ? (low_sec - direct_at_max.batchSec) / low_sec : 0.0;
+    std::printf("\nprobe ISA: %s (best supported: %s)\n",
+                tensor::bnnIsaName(tensor::bnnActiveIsa()),
+                tensor::bnnIsaName(tensor::bnnBestIsa()));
+    std::printf("low-reuse (theta=0.01) batch %zu: memoized %.2f seq/s "
+                "vs direct %.2f seq/s -> probe+memo overhead %.1f%% of "
+                "memoized time\n",
+                max_batch,
+                static_cast<double>(max_batch) / low_sec,
+                static_cast<double>(max_batch) / direct_at_max.batchSec,
+                100.0 * overhead);
     return 0;
 }

@@ -68,6 +68,112 @@ BM_BnnDotNaive(benchmark::State &state)
 }
 BENCHMARK(BM_BnnDotNaive)->Arg(640);
 
+/**
+ * One gate's probe shape (DeepSpeech2-like): 64 weight rows x 1600 bits
+ * against one packed input, per forced ISA variant. Skips variants the
+ * host cannot run.
+ */
+void
+benchBnnDotRows(benchmark::State &state, tensor::BnnIsa isa)
+{
+    if (!tensor::bnnSetIsa(isa)) {
+        state.SkipWithError("ISA variant not supported on this host");
+        return;
+    }
+    const std::size_t n = 1600;
+    const std::size_t rows = 64;
+    tensor::BitMatrix w(rows, n);
+    for (std::size_t r = 0; r < rows; ++r)
+        w.setRow(r, randomVector(n, 100 + r));
+    const auto input = tensor::BitVector::fromFloats(randomVector(n, 99));
+    std::vector<std::int32_t> out(rows);
+    for (auto _ : state) {
+        tensor::bnnDotRows(w, 0, rows, input, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(rows * n));
+    tensor::bnnSetIsa(tensor::bnnBestIsa());
+}
+
+void
+BM_BnnDotRowsPortable(benchmark::State &state)
+{
+    benchBnnDotRows(state, tensor::BnnIsa::Portable);
+}
+BENCHMARK(BM_BnnDotRowsPortable);
+
+void
+BM_BnnDotRowsAvx2(benchmark::State &state)
+{
+    benchBnnDotRows(state, tensor::BnnIsa::Avx2);
+}
+BENCHMARK(BM_BnnDotRowsAvx2);
+
+void
+BM_BnnDotRowsAvx512(benchmark::State &state)
+{
+    benchBnnDotRows(state, tensor::BnnIsa::Avx512);
+}
+BENCHMARK(BM_BnnDotRowsAvx512);
+
+/**
+ * The batch engine's panel shape: a neuron block x live slots, per
+ * forced ISA variant.
+ */
+void
+benchBnnDotPanel(benchmark::State &state, tensor::BnnIsa isa)
+{
+    if (!tensor::bnnSetIsa(isa)) {
+        state.SkipWithError("ISA variant not supported on this host");
+        return;
+    }
+    const std::size_t n = 1600;
+    const std::size_t rows = 32;
+    const std::size_t slots = 16;
+    tensor::BitMatrix w(rows, n);
+    for (std::size_t r = 0; r < rows; ++r)
+        w.setRow(r, randomVector(n, 200 + r));
+    std::vector<tensor::BitVector> inputs;
+    std::vector<const std::uint64_t *> words;
+    for (std::size_t s = 0; s < slots; ++s)
+        inputs.push_back(tensor::BitVector::fromFloats(
+            randomVector(n, 300 + s)));
+    for (std::size_t s = 0; s < slots; ++s)
+        words.push_back(inputs[s].raw().data());
+    std::vector<std::int32_t> out(rows * slots);
+    for (auto _ : state) {
+        tensor::bnnDotPanel(w, 0, rows, words, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(rows * slots * n));
+    tensor::bnnSetIsa(tensor::bnnBestIsa());
+}
+
+void
+BM_BnnDotPanelPortable(benchmark::State &state)
+{
+    benchBnnDotPanel(state, tensor::BnnIsa::Portable);
+}
+BENCHMARK(BM_BnnDotPanelPortable);
+
+void
+BM_BnnDotPanelAvx2(benchmark::State &state)
+{
+    benchBnnDotPanel(state, tensor::BnnIsa::Avx2);
+}
+BENCHMARK(BM_BnnDotPanelAvx2);
+
+void
+BM_BnnDotPanelAvx512(benchmark::State &state)
+{
+    benchBnnDotPanel(state, tensor::BnnIsa::Avx512);
+}
+BENCHMARK(BM_BnnDotPanelAvx512);
+
 void
 BM_InputBinarization(benchmark::State &state)
 {

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cache-line-aligned vector storage.
+ *
+ * Two users with hard requirements:
+ *
+ *  - the bit-packed probe kernels, whose contiguous word buffers stream
+ *    through 32/64-byte SIMD loads;
+ *  - the batched memo tables, whose per-neuron slot ranges are padded to
+ *    a cache line so concurrent sequence chunks never write the same
+ *    line (the padding only works if index 0 starts a line).
+ *
+ * malloc alignment (16 bytes on glibc) is not enough for either, so the
+ * allocator goes through the aligned operator new.
+ */
+
+#ifndef NLFM_COMMON_ALIGNED_HH
+#define NLFM_COMMON_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace nlfm
+{
+
+/** Size every padding decision assumes for a destructive-sharing line. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Minimal std::allocator replacement with a fixed alignment. */
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    // The non-type Align parameter defeats std::allocator_traits'
+    // automatic rebinding, so spell it out.
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    AlignedAllocator() = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U, Align> &) const
+    {
+        return true;
+    }
+};
+
+/** std::vector whose buffer starts on a cache line. */
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace nlfm
+
+#endif // NLFM_COMMON_ALIGNED_HH

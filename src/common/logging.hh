@@ -90,4 +90,17 @@ std::size_t warnCount();
         } \
     } while (0)
 
+/**
+ * Invariant check on the hot kernel paths (per-call dot products, probe
+ * kernels, per-element packing). Unlike nlfm_assert this compiles out in
+ * Release (NDEBUG) builds: these checks sit in front of inner loops that
+ * run per neuron per slot per timestep, where the branch and argument
+ * evaluation are measurable. Debug builds keep full checking.
+ */
+#ifdef NDEBUG
+#define nlfm_assert_hot(cond, ...) ((void)0)
+#else
+#define nlfm_assert_hot(cond, ...) nlfm_assert(cond, ##__VA_ARGS__)
+#endif
+
 #endif // NLFM_COMMON_LOGGING_HH

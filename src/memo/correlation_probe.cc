@@ -45,10 +45,15 @@ CorrelationProbe::evaluateGate(const nn::GateInstance &instance,
         PearsonAccumulator local_overall;
         std::vector<std::pair<float, int>> local_scatter;
 
+        // Whole-chunk BNN outputs through the blocked probe kernel.
+        thread_local std::vector<std::int32_t> yb;
+        yb.resize(end - begin);
+        bgate.outputs(begin, end - begin, yb);
+
         for (std::size_t n = begin; n < end; ++n) {
             const std::size_t flat = instance.neuronBase + n;
             const float y_t = nn::evaluateNeuron(params, n, x, h);
-            const int yb_t = bgate.output(n);
+            const int yb_t = yb[n - begin];
             preact[n] = y_t;
 
             neuronCorr_[flat].add(y_t, yb_t);

@@ -1,11 +1,201 @@
 #include "memo/memo_batch.hh"
 
+#include <limits>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "memo/memo_decision.hh"
 #include "tensor/bitpack.hh"
 #include "tensor/vector_ops.hh"
 
 namespace nlfm::memo
 {
+
+namespace
+{
+
+/** Weight rows per probe panel (block x live-slots kernel calls). */
+constexpr std::size_t kProbeNeuronBlock = 32;
+
+#if defined(__x86_64__)
+
+/**
+ * AVX-512 form of the Phase-1 decision loop for the default engine
+ * configuration (fixed-point CMP, throttling on) over a dense slot
+ * range: eight slots per step through the division-free comparison of
+ * memo_decision.hh —
+ *
+ *     reuse ⟺ valid && (diff << 16) < (theta - prev + 1) * mag
+ *             (with the yb_t == 0 branch folded in as diff == 0 &&
+ *              prev <= theta)
+ *
+ * — integer arithmetic throughout, so decisions are bit-identical to
+ * bnnReuseDecision (the caller guards against (theta+1)*mag overflow).
+ * Misses are compress-stored into @p miss in ascending slot order;
+ * reusing slots (the sparse outcome at low theta) are resolved in the
+ * scalar mask loop, which is also where the Q16 division finally runs.
+ *
+ * Explicit intrinsics behind a target attribute for the same reason as
+ * tensor/bitpack_simd.cc: -march=native is off limits under gcc 12.
+ *
+ * @return the miss count
+ */
+__attribute__((target("avx512f,avx512dq,popcnt"))) std::size_t
+decideRowAvx512(const std::int32_t *yb_row, std::size_t slots,
+                std::size_t e0, const std::int32_t *bnn_row,
+                const std::uint8_t *valid_row, std::int64_t *draw_row,
+                const float *y_row, std::uint64_t *reused_row,
+                float *const *out_rows, std::size_t n,
+                std::int64_t theta_raw, Q16 theta_q, std::uint32_t *miss,
+                std::uint8_t *miss_blocks)
+{
+    std::size_t miss_count = 0;
+    const __m512i theta1 = _mm512_set1_epi64(theta_raw + 1);
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i lane_idx =
+        _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 0, 0, 0, 0, 0, 0, 0, 0);
+
+    std::size_t i = 0;
+    for (; i + 8 <= slots; i += 8) {
+        // maskz_* forms of the widening/abs intrinsics: the plain forms
+        // expand through _mm512_undefined_epi32(), which gcc 12 flags
+        // with -Wmaybe-uninitialized.
+        const __m512i yb = _mm512_maskz_cvtepi32_epi64(
+            0xff, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i *>(yb_row + i)));
+        const __m512i ym = _mm512_maskz_cvtepi32_epi64(
+            0xff, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i *>(bnn_row + e0 + i)));
+        const __mmask8 valid = _mm512_cmpneq_epi64_mask(
+            _mm512_maskz_cvtepu8_epi64(
+                0xff, _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                          valid_row + e0 + i))),
+            zero);
+        const __m512i prev =
+            _mm512_loadu_si512(draw_row + e0 + i);
+        const __m512i diff =
+            _mm512_maskz_abs_epi64(0xff, _mm512_sub_epi64(yb, ym));
+        const __m512i mag = _mm512_maskz_abs_epi64(0xff, yb);
+        const __m512i scaled = _mm512_maskz_slli_epi64(0xff, diff, 16);
+        const __m512i prod =
+            _mm512_mullo_epi64(_mm512_sub_epi64(theta1, prev), mag);
+
+        const unsigned nonzero = _mm512_cmpneq_epi64_mask(mag, zero);
+        const unsigned lt = _mm512_cmplt_epi64_mask(scaled, prod);
+        const unsigned zero_reuse =
+            _mm512_cmpeq_epi64_mask(diff, zero) &
+            _mm512_cmplt_epi64_mask(prev, theta1);
+        const unsigned reuse = static_cast<unsigned>(valid) &
+                               ((nonzero & lt) | (~nonzero & zero_reuse));
+        const __mmask16 miss_m =
+            static_cast<__mmask16>(~reuse & 0xffu);
+        miss_blocks[i / 8] = static_cast<std::uint8_t>(miss_m);
+
+        _mm512_mask_compressstoreu_epi32(
+            miss + miss_count, miss_m,
+            _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(i)),
+                             lane_idx));
+        miss_count += static_cast<std::size_t>(
+            __builtin_popcount(miss_m));
+
+        unsigned rm = reuse;
+        while (rm != 0) {
+            const int j = __builtin_ctz(rm);
+            rm &= rm - 1;
+            const std::size_t e = e0 + i + static_cast<std::size_t>(j);
+            const std::int64_t yb_t = yb_row[i + j];
+            if (yb_t != 0) {
+                const std::int64_t d = std::abs(
+                    yb_t - static_cast<std::int64_t>(bnn_row[e]));
+                draw_row[e] += (d << 16) / std::abs(yb_t); // Eq. 13
+            }
+            out_rows[i + j][n] = y_row[e];
+            ++reused_row[e];
+        }
+    }
+
+    // Scalar tail (slots % 8) through the shared decision kernel.
+    if (i < slots)
+        miss_blocks[i / 8] = 0;
+    for (; i < slots; ++i) {
+        const std::size_t e = e0 + i;
+        const BnnDecision decision =
+            bnnReuseDecision(yb_row[i], bnn_row[e], valid_row[e] != 0,
+                             draw_row[e], 0.0, true, true, 0.0, theta_q);
+        if (decision.reuse) {
+            out_rows[i][n] = y_row[e];
+            draw_row[e] = decision.deltaRaw;
+            ++reused_row[e];
+        } else {
+            miss[miss_count++] = static_cast<std::uint32_t>(i);
+            miss_blocks[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+    }
+    return miss_count;
+}
+
+/**
+ * Masked-store form of the miss commit (Eqs. 15-17) for the dense
+ * full-panel path: forward/recurrent hold every slot's dots, and the
+ * missing slots' table entries are contiguous, so one 8-slot step
+ * refreshes y_m, yb_m, delta_b and the valid byte with four masked
+ * stores. Only the per-sequence preact write stays scalar (each slot's
+ * output row is a different buffer). The committed y_t is the same
+ * float add the scalar loop performs.
+ */
+__attribute__((target(
+    "avx512f,avx512dq,avx512bw,avx512vl,popcnt"))) void
+commitRowAvx512(const std::uint8_t *miss_blocks, std::size_t slots,
+                std::size_t e0, const float *forward,
+                const float *recurrent, const std::int32_t *yb_row,
+                float *y_row, std::int32_t *bnn_row,
+                std::int64_t *draw_row, std::uint8_t *valid_row,
+                float *const *out_rows, std::size_t n)
+{
+    const __m512i zero64 = _mm512_setzero_si512();
+    const __m128i one8 = _mm_set1_epi8(1);
+    std::size_t i = 0;
+    for (; i + 8 <= slots; i += 8) {
+        const __mmask8 m = miss_blocks[i / 8];
+        if (m == 0)
+            continue;
+        const __m256 y_t = _mm256_add_ps(_mm256_loadu_ps(forward + i),
+                                         _mm256_loadu_ps(recurrent + i));
+        _mm256_mask_storeu_ps(y_row + e0 + i, m, y_t);
+        _mm256_mask_storeu_epi32(
+            bnn_row + e0 + i, m,
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(yb_row + i)));
+        _mm512_mask_storeu_epi64(draw_row + e0 + i, m, zero64);
+        _mm_mask_storeu_epi8(valid_row + e0 + i, m, one8);
+
+        alignas(32) float y_s[8];
+        _mm256_store_ps(y_s, y_t);
+        unsigned rm = m;
+        while (rm != 0) {
+            const int j = __builtin_ctz(rm);
+            rm &= rm - 1;
+            out_rows[i + j][n] = y_s[j];
+        }
+    }
+    for (; i < slots; ++i) {
+        if (((miss_blocks[i / 8] >> (i % 8)) & 1) == 0)
+            continue;
+        const std::size_t e = e0 + i;
+        const float y_t = forward[i] + recurrent[i];
+        out_rows[i][n] = y_t;
+        y_row[e] = y_t;
+        bnn_row[e] = yb_row[i];
+        draw_row[e] = 0;
+        valid_row[e] = 1;
+    }
+}
+
+#endif // __x86_64__
+
+} // namespace
 
 BatchMemoEngine::BatchMemoEngine(const nn::RnnNetwork &network,
                                  nn::BinarizedNetwork *bnn,
@@ -32,15 +222,34 @@ void
 BatchMemoEngine::beginBatch(std::size_t total_sequences)
 {
     batch_ = total_sequences;
-    const std::size_t entries = network_.totalNeurons() * batch_;
+    // Pad the slot stride to a cache line of valid_ for multi-chunk
+    // batches (single-chunk batches have no cross-chunk sharing to
+    // avoid, so they skip the padding and its memory cost).
+    slotStride_ = batch_ <= kCacheLineBytes
+                      ? batch_
+                      : (batch_ + kCacheLineBytes - 1) / kCacheLineBytes *
+                            kCacheLineBytes;
+    const std::size_t entries = network_.totalNeurons() * slotStride_;
     cachedOutput_.assign(entries, 0.f);
-    cachedBnn_.assign(entries, 0);
-    deltaRaw_.assign(entries, 0);
-    deltaFp_.assign(entries, 0.0);
+    // The BNN tables back the BNN predictor only, and options_.
+    // fixedPoint selects exactly one throttling representation at
+    // construction: only the arrays this engine can touch are given
+    // memory.
+    const bool bnn = options_.predictor == PredictorKind::Bnn;
+    cachedBnn_ = {};
+    deltaRaw_ = {};
+    deltaFp_ = {};
+    if (bnn) {
+        cachedBnn_.assign(entries, 0);
+        if (options_.fixedPoint)
+            deltaRaw_.assign(entries, 0);
+        else
+            deltaFp_.assign(entries, 0.0);
+    }
     valid_.assign(entries, 0);
     const std::size_t gates = network_.gateInstances().size();
-    slotReused_.assign(gates * batch_, 0);
-    slotTotal_.assign(gates * batch_, 0);
+    slotReused_.assign(gates * slotStride_, 0);
+    slotTotal_.assign(gates * slotStride_, 0);
 }
 
 void
@@ -64,7 +273,7 @@ BatchMemoEngine::evaluateGateBatch(const nn::GateInstance &instance,
 
     // One processing step per live slot: every listed neuron slot counts
     // toward the totals, exactly like the serial stats_.record call.
-    const std::size_t stat_base = instance.instanceId * batch_;
+    const std::size_t stat_base = instance.instanceId * slotStride_;
     for (const std::size_t b : rows)
         slotTotal_[stat_base + slot_base + b] += instance.neurons;
 }
@@ -79,7 +288,7 @@ BatchMemoEngine::evaluateOracleBatch(const nn::GateInstance &instance,
                                      tensor::Matrix &preact)
 {
     const double theta = options_.theta;
-    const std::size_t stat_base = instance.instanceId * batch_;
+    const std::size_t stat_base = instance.instanceId * slotStride_;
 
     // The Oracle always computes y_t (Eq. 9), so the whole panel goes
     // through the blocked kernel: each weight row is streamed once
@@ -101,7 +310,8 @@ BatchMemoEngine::evaluateOracleBatch(const nn::GateInstance &instance,
     for (std::size_t n = 0; n < instance.neurons; ++n) {
         tensor::dotLanesRows(params.wx.row(n), x_rows, forward);
         tensor::dotLanesRows(params.wh.row(n), h_rows, recurrent);
-        const std::size_t entry_base = (instance.neuronBase + n) * batch_;
+        const std::size_t entry_base =
+            (instance.neuronBase + n) * slotStride_;
         for (std::size_t i = 0; i < rows.size(); ++i) {
             const std::size_t slot = slot_base + rows[i];
             const std::size_t entry = entry_base + slot;
@@ -138,7 +348,8 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     const bool fixed_point = options_.fixedPoint;
     const double theta = options_.theta;
     const Q16 theta_q = thetaQ_;
-    const std::size_t stat_base = instance.instanceId * batch_;
+    const std::size_t stat_base = instance.instanceId * slotStride_;
+    const std::size_t slots = rows.size();
 
     // One input binarization per live slot per timestep (the FMU input
     // vector of each sequence). thread_local so concurrent chunks never
@@ -147,12 +358,15 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     // width changes.
     const std::size_t width = instance.xSize + instance.hSize;
     thread_local std::vector<tensor::BitVector> inputs;
-    if (inputs.size() < rows.size())
-        inputs.resize(rows.size());
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    thread_local std::vector<const std::uint64_t *> input_words;
+    if (inputs.size() < slots)
+        inputs.resize(slots);
+    input_words.resize(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
         if (inputs[i].size() != width)
             inputs[i] = tensor::BitVector(width);
         inputs[i].assignConcat(x.row(rows[i]), h.row(rows[i]));
+        input_words[i] = inputs[i].raw().data();
     }
 
     // thread_local scratch, one set per pool worker (see
@@ -160,78 +374,184 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     thread_local std::vector<const float *> x_rows;
     thread_local std::vector<const float *> h_rows;
     thread_local std::vector<float *> out_rows;
-    x_rows.resize(rows.size());
-    h_rows.resize(rows.size());
-    out_rows.resize(rows.size());
+    x_rows.resize(slots);
+    h_rows.resize(slots);
+    out_rows.resize(slots);
     tensor::gatherRowPointers(x, rows, x_rows);
     tensor::gatherRowPointers(h, rows, h_rows);
     tensor::gatherRowPointers(preact, rows, out_rows);
 
-    // Per-neuron scratch: which slots missed, and their blocked dots.
-    thread_local std::vector<std::size_t> miss;
-    thread_local std::vector<std::int32_t> miss_bnn;
+    // Table offsets of each live slot, hoisted out of the per-neuron
+    // decision loop (the loop runs per neuron x slot x timestep; the
+    // offsets only change per gate call).
+    thread_local std::vector<std::uint32_t> slot_entry;
+    slot_entry.resize(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        slot_entry[i] =
+            static_cast<std::uint32_t>(slot_base + rows[i]);
+
+    // Per-neuron scratch: which slots missed (as indices and as per-
+    // 8-slot bit blocks), and their blocked dots.
+    thread_local std::vector<std::uint32_t> miss;
+    thread_local std::vector<std::uint8_t> miss_blocks;
     thread_local std::vector<const float *> miss_x;
     thread_local std::vector<const float *> miss_h;
     thread_local std::vector<float> forward;
     thread_local std::vector<float> recurrent;
-    miss.reserve(rows.size());
-    miss_bnn.reserve(rows.size());
-    miss_x.reserve(rows.size());
-    miss_h.reserve(rows.size());
+    miss.resize(slots);
+    miss_blocks.resize((slots + 7) / 8);
+    miss_x.reserve(slots);
+    miss_h.reserve(slots);
+    std::uint64_t *reused_row = slotReused_.data() + stat_base;
 
-    for (std::size_t n = 0; n < instance.neurons; ++n) {
-        const tensor::BitVector &signs = bgate.weights().row(n);
-        const std::size_t entry_base = (instance.neuronBase + n) * batch_;
+    // Probe panel: all live slots of a block of neurons per kernel
+    // invocation, streaming the contiguous sign matrix block by block.
+    thread_local std::vector<std::int32_t> yb_panel;
+    yb_panel.resize(kProbeNeuronBlock * slots);
 
-        // Phase 1: the cheap BNN probe decides per slot; hits are
-        // resolved immediately, misses are queued.
-        miss.clear();
-        miss_bnn.clear();
-        miss_x.clear();
-        miss_h.clear();
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const std::size_t slot = slot_base + rows[i];
-            const std::size_t entry = entry_base + slot;
-            const std::int32_t yb_t = tensor::bnnDot(signs, inputs[i]);
+    // The vector decision path covers the default configuration
+    // (fixed-point CMP + throttling) over a dense slot range, with theta
+    // small enough that (theta + 1) * mag cannot leave 64 bits; anything
+    // else — including a forced non-AVX-512 probe ISA, so variant
+    // comparisons measure a genuinely ISA-free fallback — takes the
+    // scalar loop. Both make bit-identical decisions.
+#if defined(__x86_64__)
+    static const bool has_decide_isa =
+        __builtin_cpu_supports("avx512f") > 0 &&
+        __builtin_cpu_supports("avx512dq") > 0 &&
+        __builtin_cpu_supports("avx512bw") > 0 &&
+        __builtin_cpu_supports("avx512vl") > 0; // commit's masked stores
+    const bool dense =
+        slots > 0 && slot_entry[slots - 1] - slot_entry[0] + 1 == slots;
+    const bool vector_decide =
+        has_decide_isa && fixed_point && throttle && dense &&
+        tensor::bnnActiveIsa() == tensor::BnnIsa::Avx512 &&
+        thetaQ_.raw() <
+            std::numeric_limits<std::int64_t>::max() /
+                (static_cast<std::int64_t>(2 * width + 2) << 16);
+#else
+    constexpr bool vector_decide = false;
+#endif
 
-            const BnnDecision decision = bnnReuseDecision(
-                yb_t, cachedBnn_[entry], valid_[entry] != 0,
-                deltaRaw_[entry], deltaFp_[entry], throttle, fixed_point,
-                theta, theta_q);
+    for (std::size_t n0 = 0; n0 < instance.neurons;
+         n0 += kProbeNeuronBlock) {
+        const std::size_t block =
+            std::min(kProbeNeuronBlock, instance.neurons - n0);
+        tensor::bnnDotPanel(bgate.weights(), n0, block, input_words,
+                            yb_panel);
 
-            if (decision.reuse) {
-                // Eq. 14 top: bypass the DPU, emit the cached output.
-                out_rows[i][n] = cachedOutput_[entry];
-                deltaRaw_[entry] = decision.deltaRaw;
-                deltaFp_[entry] = decision.deltaFp;
-                ++slotReused_[stat_base + slot];
-            } else {
-                miss.push_back(i);
-                miss_bnn.push_back(yb_t);
-                miss_x.push_back(x_rows[i]);
-                miss_h.push_back(h_rows[i]);
+        for (std::size_t r = 0; r < block; ++r) {
+            const std::size_t n = n0 + r;
+            const std::int32_t *yb_row = yb_panel.data() + r * slots;
+            const std::size_t entry_base =
+                (instance.neuronBase + n) * slotStride_;
+            // Row-base pointers: the decision loop then indexes by the
+            // hoisted slot offsets only.
+            const std::int32_t *bnn_row = cachedBnn_.data() + entry_base;
+            const std::uint8_t *valid_row = valid_.data() + entry_base;
+            std::int64_t *draw_row =
+                fixed_point ? deltaRaw_.data() + entry_base : nullptr;
+            double *dfp_row =
+                fixed_point ? nullptr : deltaFp_.data() + entry_base;
+            const float *y_row = cachedOutput_.data() + entry_base;
+
+            // Phase 1: the cheap BNN probe decides per slot; hits are
+            // resolved immediately, misses are queued (the queued yb_t
+            // stays readable in yb_row).
+            std::size_t miss_count = 0;
+#if defined(__x86_64__)
+            if (vector_decide) {
+                miss_count = decideRowAvx512(
+                    yb_row, slots, slot_entry[0], bnn_row, valid_row,
+                    draw_row, y_row, reused_row, out_rows.data(), n,
+                    thetaQ_.raw(), theta_q, miss.data(),
+                    miss_blocks.data());
+            } else
+#endif
+            for (std::size_t i = 0; i < slots; ++i) {
+                const std::uint32_t e = slot_entry[i];
+                const std::int32_t yb_t = yb_row[i];
+
+                const std::int64_t prev_raw =
+                    fixed_point ? draw_row[e] : 0;
+                const double prev_fp = fixed_point ? 0.0 : dfp_row[e];
+                const BnnDecision decision = bnnReuseDecision(
+                    yb_t, bnn_row[e], valid_row[e] != 0, prev_raw,
+                    prev_fp, throttle, fixed_point, theta, theta_q);
+
+                if (decision.reuse) {
+                    // Eq. 14 top: bypass the DPU, emit the cached
+                    // output.
+                    out_rows[i][n] = y_row[e];
+                    if (fixed_point)
+                        draw_row[e] = decision.deltaRaw;
+                    else
+                        dfp_row[e] = decision.deltaFp;
+                    ++reused_row[e];
+                } else {
+                    miss[miss_count++] = static_cast<std::uint32_t>(i);
+                }
             }
-        }
 
-        // Phase 2 (Eqs. 15-17): full evaluation of the missing slots
-        // through the blocked kernel, one weight-row read for all of
-        // them; refresh the whole entry.
-        if (miss.empty())
-            continue;
-        forward.resize(miss.size());
-        recurrent.resize(miss.size());
-        tensor::dotLanesRows(params.wx.row(n), miss_x, forward);
-        tensor::dotLanesRows(params.wh.row(n), miss_h, recurrent);
-        for (std::size_t m = 0; m < miss.size(); ++m) {
-            const std::size_t i = miss[m];
-            const std::size_t entry = entry_base + slot_base + rows[i];
-            const float y_t = forward[m] + recurrent[m];
-            out_rows[i][n] = y_t;
-            cachedOutput_[entry] = y_t;
-            cachedBnn_[entry] = miss_bnn[m];
-            deltaRaw_[entry] = 0;
-            deltaFp_[entry] = 0.0;
-            valid_[entry] = 1;
+            // Phase 2 (Eqs. 15-17): full evaluation of the missing
+            // slots through the blocked kernel, one weight-row read for
+            // all of them; refresh the whole entry.
+            if (miss_count == 0)
+                continue;
+
+            // When every slot missed (the common case at low theta),
+            // reuse the already-gathered full panel pointers and the
+            // masked-store commit; partial misses go through the
+            // compacted pointer list, which dotLanesRows evaluates in
+            // at most ceil(miss/8) weight streams (single-width tail
+            // blocks, no 4/2/1 cascade), so a 15-of-16 miss costs two
+            // streams, same as the full panel, minus the hit slot.
+            const bool full_panel = miss_count == slots;
+            const std::size_t m_count = full_panel ? slots : miss_count;
+            forward.resize(m_count);
+            recurrent.resize(m_count);
+            if (full_panel) {
+                tensor::dotLanesRows(params.wx.row(n),
+                                     {x_rows.data(), slots}, forward);
+                tensor::dotLanesRows(params.wh.row(n),
+                                     {h_rows.data(), slots}, recurrent);
+            } else {
+                miss_x.resize(miss_count);
+                miss_h.resize(miss_count);
+                for (std::size_t m = 0; m < miss_count; ++m) {
+                    miss_x[m] = x_rows[miss[m]];
+                    miss_h[m] = h_rows[miss[m]];
+                }
+                tensor::dotLanesRows(params.wx.row(n), miss_x, forward);
+                tensor::dotLanesRows(params.wh.row(n), miss_h,
+                                     recurrent);
+            }
+            std::int32_t *bnn_wrow = cachedBnn_.data() + entry_base;
+            std::uint8_t *valid_wrow = valid_.data() + entry_base;
+            float *y_wrow = cachedOutput_.data() + entry_base;
+#if defined(__x86_64__)
+            if (vector_decide && full_panel) {
+                commitRowAvx512(miss_blocks.data(), slots, slot_entry[0],
+                                forward.data(), recurrent.data(), yb_row,
+                                y_wrow, bnn_wrow, draw_row, valid_wrow,
+                                out_rows.data(), n);
+                continue;
+            }
+#endif
+            for (std::size_t m = 0; m < miss_count; ++m) {
+                const std::size_t i = miss[m];
+                const std::size_t d = full_panel ? i : m;
+                const std::uint32_t e = slot_entry[i];
+                const float y_t = forward[d] + recurrent[d];
+                out_rows[i][n] = y_t;
+                y_wrow[e] = y_t;
+                bnn_wrow[e] = yb_row[i];
+                if (fixed_point)
+                    draw_row[e] = 0;
+                else
+                    dfp_row[e] = 0.0;
+                valid_wrow[e] = 1;
+            }
         }
     }
 }
@@ -245,8 +565,8 @@ BatchMemoEngine::stats() const
         std::uint64_t reused = 0;
         std::uint64_t total = 0;
         for (std::size_t slot = 0; slot < batch_; ++slot) {
-            reused += slotReused_[gate * batch_ + slot];
-            total += slotTotal_[gate * batch_ + slot];
+            reused += slotReused_[gate * slotStride_ + slot];
+            total += slotTotal_[gate * slotStride_ + slot];
         }
         stats.record(gate, reused, total);
     }
@@ -261,8 +581,8 @@ BatchMemoEngine::slotReuseFraction(std::size_t slot) const
     std::uint64_t total = 0;
     for (std::size_t gate = 0; gate < network_.gateInstances().size();
          ++gate) {
-        reused += slotReused_[gate * batch_ + slot];
-        total += slotTotal_[gate * batch_ + slot];
+        reused += slotReused_[gate * slotStride_ + slot];
+        total += slotTotal_[gate * slotStride_ + slot];
     }
     return total == 0 ? 0.0
                       : static_cast<double>(reused) /

@@ -19,6 +19,7 @@
 #ifndef NLFM_MEMO_MEMO_BATCH_HH
 #define NLFM_MEMO_MEMO_BATCH_HH
 
+#include "common/aligned.hh"
 #include "memo/memo_engine.hh"
 #include "nn/batch_evaluator.hh"
 
@@ -82,18 +83,36 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
 
     std::size_t batch_ = 0;
 
-    // Memo table, SoA over [neuron][slot]: index flat_neuron * batch_ +
-    // slot. Distinct slots belong to distinct sequences, so concurrent
-    // chunks touch disjoint entries.
-    std::vector<float> cachedOutput_;     ///< y_m
-    std::vector<std::int32_t> cachedBnn_; ///< yb_m
-    std::vector<std::int64_t> deltaRaw_;  ///< delta_b (Q16 raw)
-    std::vector<double> deltaFp_;         ///< delta_b (double path)
-    std::vector<std::uint8_t> valid_;
+    /**
+     * Slot stride of the SoA tables: batch_, rounded up to a cache line
+     * of the smallest element (valid_, 1 byte) for batches larger than
+     * one line of slots. Together with the cache-line-aligned
+     * allocations, chunk boundaries that fall on 64-slot multiples —
+     * which the BatchForwardOptions::chunkSize default of 64
+     * guarantees — never split a table cache line between chunks, so
+     * concurrent chunk workers cannot false-share memo state. A caller
+     * choosing a smaller chunkSize puts several chunks inside one line
+     * of valid_ and accepts that sharing (the engine never learns the
+     * chunk geometry; fixing sub-line chunks would need a chunk-major
+     * table layout).
+     */
+    std::size_t slotStride_ = 0;
 
-    // Per-gate-instance, per-slot counters: index gate * batch_ + slot.
-    std::vector<std::uint64_t> slotReused_;
-    std::vector<std::uint64_t> slotTotal_;
+    // Memo table, SoA over [neuron][slot]: index flat_neuron *
+    // slotStride_ + slot. Distinct slots belong to distinct sequences,
+    // so concurrent chunks touch disjoint entries. Of the two throttling
+    // arrays, only the one options_.fixedPoint selects is allocated —
+    // the other would be ~1/3 of the table footprint, dead.
+    CacheAlignedVector<float> cachedOutput_;     ///< y_m
+    CacheAlignedVector<std::int32_t> cachedBnn_; ///< yb_m
+    CacheAlignedVector<std::int64_t> deltaRaw_;  ///< delta_b (Q16 raw)
+    CacheAlignedVector<double> deltaFp_;         ///< delta_b (double)
+    CacheAlignedVector<std::uint8_t> valid_;
+
+    // Per-gate-instance, per-slot counters: index gate * slotStride_ +
+    // slot.
+    CacheAlignedVector<std::uint64_t> slotReused_;
+    CacheAlignedVector<std::uint64_t> slotTotal_;
 };
 
 } // namespace nlfm::memo

@@ -59,16 +59,33 @@ bnnReuseDecision(std::int32_t yb_t, std::int32_t yb_m, bool valid,
                             : decision.deltaFp <= theta;
         }
     } else if (fixed_point) {
-        // eps_b in Q16.16: |yb_t - yb_m| / |yb_t| (Eq. 12).
+        // eps_b in Q16.16: |yb_t - yb_m| / |yb_t| (Eq. 12), accumulated
+        // into delta_b (Eq. 13) and compared against theta (Eq. 14).
+        //
+        // The division only has to run when the neuron actually reuses
+        // (to materialize the stored delta_b); the comparison itself is
+        // division-free. With q = floor((diff << 16) / mag) and
+        // nonnegative operands,
+        //
+        //     prev + q <= theta  ⟺  q < theta - prev + 1
+        //                        ⟺  diff << 16 < (theta - prev + 1) * mag
+        //
+        // (floor(a/b) < K ⟺ a < K*b for b > 0), so misses — the common
+        // case at low reuse, one decision per neuron per slot per
+        // timestep — skip the divide entirely. The product runs in
+        // 128-bit so a saturated theta cannot overflow it.
         const std::int64_t diff =
             std::abs(static_cast<std::int64_t>(yb_t) - yb_m);
         const std::int64_t mag =
             std::abs(static_cast<std::int64_t>(yb_t));
-        const Q16 eps = Q16::fromRaw((diff << 16) / mag);
-        const Q16 prev = Q16::fromRaw(throttle ? prev_raw : 0);
-        const Q16 delta = prev + eps; // Eq. 13
-        decision.deltaRaw = delta.raw();
-        decision.reuse = delta <= theta_q; // Eq. 14
+        const std::int64_t prev = throttle ? prev_raw : 0;
+        const std::int64_t scaled_diff = diff << 16;
+        const __int128 headroom =
+            static_cast<__int128>(theta_q.raw()) - prev + 1;
+        if (static_cast<__int128>(scaled_diff) < headroom * mag) {
+            decision.deltaRaw = prev + scaled_diff / mag;
+            decision.reuse = true;
+        }
     } else {
         const double eps = tensor::relativeDifference(
             static_cast<double>(yb_t), static_cast<double>(yb_m));

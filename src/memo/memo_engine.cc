@@ -137,9 +137,16 @@ MemoEngine::evaluateBnn(const nn::GateInstance &instance,
 
     parallelFor(instance.neurons, [&](std::size_t begin, std::size_t end) {
         std::uint64_t local_hits = 0;
+        // Panel probe: the whole chunk's BNN outputs in one blocked
+        // kernel pass over the contiguous sign matrix (the input stream
+        // is re-read from L1 per block of 8 weight rows, not per
+        // neuron). thread_local so each pool worker reuses its buffer.
+        thread_local std::vector<std::int32_t> yb;
+        yb.resize(end - begin);
+        bgate.outputs(begin, end - begin, yb);
         for (std::size_t n = begin; n < end; ++n) {
             const std::size_t flat = instance.neuronBase + n;
-            const std::int32_t yb_t = bgate.output(n);
+            const std::int32_t yb_t = yb[n - begin];
 
             const BnnDecision decision = bnnReuseDecision(
                 yb_t, cachedBnn_[flat], valid_[flat] != 0,

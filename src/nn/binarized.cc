@@ -44,7 +44,22 @@ BinarizedGate::binarizeInput(std::span<const float> x,
 int
 BinarizedGate::output(std::size_t neuron) const
 {
-    return tensor::bnnDot(weights_.row(neuron), input_);
+    std::int32_t out = 0;
+    tensor::bnnDotRows(weights_, neuron, 1, input_, {&out, 1});
+    return out;
+}
+
+void
+BinarizedGate::outputs(std::span<std::int32_t> out) const
+{
+    outputs(0, weights_.rows(), out);
+}
+
+void
+BinarizedGate::outputs(std::size_t begin, std::size_t count,
+                       std::span<std::int32_t> out) const
+{
+    tensor::bnnDotRows(weights_, begin, count, input_, out);
 }
 
 void

@@ -36,13 +36,26 @@ class BinarizedGate
 
     /**
      * Binarize the gate input for the current timestep. Must be called
-     * before output(); not thread-safe against concurrent refreshes, but
-     * output() for distinct neurons may then run in parallel.
+     * before output()/outputs(); not thread-safe against concurrent
+     * refreshes, but outputs() for distinct neuron ranges may then run
+     * in parallel.
      */
     void binarizeInput(std::span<const float> x, std::span<const float> h);
 
     /** BNN output of @p neuron for the last binarized input (Eq. 8). */
     int output(std::size_t neuron) const;
+
+    /**
+     * Whole-gate panel evaluation: out[n] = BNN output of neuron n for
+     * the last binarized input, through the blocked probe kernel (the
+     * input word stream is loaded once per block of weight rows instead
+     * of once per neuron).
+     */
+    void outputs(std::span<std::int32_t> out) const;
+
+    /** Panel evaluation of the neuron range [begin, begin + count). */
+    void outputs(std::size_t begin, std::size_t count,
+                 std::span<std::int32_t> out) const;
 
     /** Re-pack after the float weights changed (e.g. after training). */
     void refresh(const GateParams &params);

@@ -33,8 +33,19 @@ struct BatchForwardOptions
 {
     /** Pool to schedule chunks on; null means ThreadPool::global(). */
     ThreadPool *pool = nullptr;
-    /** Sequences per chunk (weight reads amortize across a chunk). */
-    std::size_t chunkSize = 8;
+    /**
+     * Sequences per chunk. Weight reads amortize across a chunk, and
+     * the default is a cache line of the batch memo table's smallest
+     * element (valid_, 1 byte): combined with the table's cache-line-
+     * padded slot stride, concurrent chunk workers never write the same
+     * line of memo state. The flip side: a batch no larger than one
+     * chunk runs on a single worker. That is deliberate — for batches
+     * under 64 slots, any multi-chunk split necessarily puts several
+     * workers on one valid_ line — but callers who want thread-level
+     * parallelism at small batch sizes can set a smaller chunkSize and
+     * accept that sharing (outputs are identical for every chunk size).
+     */
+    std::size_t chunkSize = 64;
     /**
      * Schedule chunks on the thread pool; false runs every chunk on
      * the calling thread (debugging / baselines), with identical

@@ -13,6 +13,30 @@
  * which is exactly the integer the paper's BDPU computes with XNORs and an
  * adder tree (§3.1.2, §3.3.2). The tail of the last word is kept zeroed in
  * both operands so XOR over padding contributes no mismatches.
+ *
+ * The probe kernels come in three ISA variants selected once at runtime
+ * (bnnBestIsa / bnnSetIsa):
+ *
+ *  - Portable: std::popcount word loop (hardware POPCNT at x86-64-v2+).
+ *  - Avx2: the Muła byte-lookup popcount (Muła/Kurz/Lemire, "Faster
+ *    Population Counts Using AVX2 Instructions") — 4 words per vector,
+ *    accumulated through VPSADBW. Rows here are a few hundred bytes, so
+ *    the lookup kernel beats a full Harley-Seal CSA tree, which only
+ *    pays off from ~256 B per stream upward.
+ *  - Avx512: VPOPCNTDQ, 8 words per vector.
+ *
+ * The AVX-512 variant is written with explicit intrinsics behind a
+ * per-function target attribute rather than compiling the project with
+ * -march=native, which gcc 12.2 is known to miscompile here (see
+ * CMakeLists.txt). Every variant returns bit-identical integers — the
+ * dot product is exact — so memoization decisions never depend on the
+ * dispatched ISA; tests/bitpack_test.cc pins this.
+ *
+ * All variants share one panel structure (mirroring the float kernels'
+ * dotLanesBlock): a *shared* stream (a weight row, or the probe input)
+ * is loaded once per block and XOR-popcounted against up to 8 *lane*
+ * streams, so evaluating a panel of R weight rows × S slot inputs costs
+ * each operand one pass through the cache hierarchy.
  */
 
 #ifndef NLFM_TENSOR_BITPACK_HH
@@ -21,6 +45,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/aligned.hh"
 
 namespace nlfm::tensor
 {
@@ -63,10 +89,8 @@ class BitVector
     std::span<const std::uint64_t> raw() const { return words_; }
 
   private:
-    friend int bnnDot(const BitVector &a, const BitVector &b);
-
     std::size_t size_ = 0;
-    std::vector<std::uint64_t> words_;
+    CacheAlignedVector<std::uint64_t> words_;
 };
 
 /**
@@ -85,28 +109,151 @@ int bnnDotNaive(std::span<const float> a, std::span<const float> b);
 /**
  * Matrix of packed rows: the sign-buffer image of a gate weight matrix
  * (paper §3.3.2 splits E-PUR's weight buffer into sign + magnitude).
+ *
+ * Storage is one contiguous word-major buffer — row r occupies words
+ * [r * wordStride(), (r+1) * wordStride()) — so a gate's entire sign
+ * matrix streams linearly through the probe kernels. Rows are padded to
+ * a whole-word stride with zero bits, which XOR away against the
+ * (equally zero-padded) input tails.
  */
 class BitMatrix
 {
   public:
     BitMatrix() = default;
 
-    /** Binarize each row of a dense float matrix given as row spans. */
     BitMatrix(std::size_t rows, std::size_t cols);
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /** Words per row (cols rounded up to a whole word). */
+    std::size_t wordStride() const { return stride_; }
+
     /** Binarize and store row @p r from float weights. */
     void setRow(std::size_t r, std::span<const float> weights);
 
-    const BitVector &row(std::size_t r) const;
+    /** Packed words of row @p r. */
+    std::span<const std::uint64_t> rowWords(std::size_t r) const;
+
+    /** Sign of element (@p r, @p c) as ±1. */
+    int get(std::size_t r, std::size_t c) const;
+
+    /** Base of the contiguous word buffer (rows_ * wordStride() words). */
+    const std::uint64_t *wordData() const { return words_.data(); }
 
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<BitVector> rowsData_;
+    std::size_t stride_ = 0;
+    CacheAlignedVector<std::uint64_t> words_;
 };
+
+/** Runtime-dispatched ISA variants of the probe kernels. */
+enum class BnnIsa
+{
+    Portable, ///< std::popcount word loop
+    Avx2,     ///< Muła byte-lookup popcount
+    Avx512,   ///< VPOPCNTDQ
+};
+
+/** Human-readable variant name (bench/report labels). */
+const char *bnnIsaName(BnnIsa isa);
+
+/** Best variant this CPU supports (detected once, via cpuid). */
+BnnIsa bnnBestIsa();
+
+/** Variant the probe kernels currently dispatch to. */
+BnnIsa bnnActiveIsa();
+
+/**
+ * Force a kernel variant (tests and benches compare variants this way).
+ * Returns false — leaving the dispatch unchanged — when the CPU does not
+ * support @p isa. Not thread-safe against concurrently running kernels;
+ * switch only between evaluations.
+ */
+bool bnnSetIsa(BnnIsa isa);
+
+/**
+ * Column kernel: out[i] = BNN dot of weight row (row_begin + i) against
+ * @p input, for i in [0, row_count). The input stream is loaded once per
+ * block of up to 8 rows.
+ */
+void bnnDotRows(const BitMatrix &w, std::size_t row_begin,
+                std::size_t row_count, const BitVector &input,
+                std::span<std::int32_t> out);
+
+/**
+ * Panel kernel: out[r * inputs.size() + s] = BNN dot of weight row
+ * (row_begin + r) against packed input s. Each weight row streams once
+ * per block of up to 8 inputs; @p inputs point at word buffers of
+ * w.wordStride() words (zero-padded tails), e.g. BitVector::raw().data()
+ * of vectors of w.cols() elements.
+ */
+void bnnDotPanel(const BitMatrix &w, std::size_t row_begin,
+                 std::size_t row_count,
+                 std::span<const std::uint64_t *const> inputs,
+                 std::span<std::int32_t> out);
+
+namespace detail
+{
+
+/**
+ * Variant entry point: mism[l] = popcount(shared ^ lanes[l]) summed over
+ * @p words words, for l in [0, lane_count). Implementations block lanes
+ * in groups of 8/4/2/1 with the shared stream loaded once per group.
+ */
+using XorPopcountFn = void (*)(const std::uint64_t *shared,
+                               const std::uint64_t *const *lanes,
+                               std::size_t lane_count, std::size_t words,
+                               std::uint64_t *mism);
+
+/**
+ * Variant panel entry point: out[r * input_count + s] = bits -
+ * 2 * popcount(row_r ^ inputs[s]) for row_r = rows_base + r *
+ * row_stride words. One indirect call evaluates the whole R x S panel —
+ * the row loop lives inside the ISA-pinned function, which matters when
+ * R is a gate's whole neuron block and the per-row work is only a few
+ * vector iterations.
+ */
+using BnnPanelFn = void (*)(const std::uint64_t *rows_base,
+                            std::size_t row_stride, std::size_t row_count,
+                            const std::uint64_t *const *inputs,
+                            std::size_t input_count, std::size_t words,
+                            std::int32_t bits, std::int32_t *out);
+
+void xorPopcountPortable(const std::uint64_t *shared,
+                         const std::uint64_t *const *lanes,
+                         std::size_t lane_count, std::size_t words,
+                         std::uint64_t *mism);
+void xorPopcountAvx2(const std::uint64_t *shared,
+                     const std::uint64_t *const *lanes,
+                     std::size_t lane_count, std::size_t words,
+                     std::uint64_t *mism);
+void xorPopcountAvx512(const std::uint64_t *shared,
+                       const std::uint64_t *const *lanes,
+                       std::size_t lane_count, std::size_t words,
+                       std::uint64_t *mism);
+
+void bnnPanelPortable(const std::uint64_t *rows_base,
+                      std::size_t row_stride, std::size_t row_count,
+                      const std::uint64_t *const *inputs,
+                      std::size_t input_count, std::size_t words,
+                      std::int32_t bits, std::int32_t *out);
+void bnnPanelAvx2(const std::uint64_t *rows_base, std::size_t row_stride,
+                  std::size_t row_count,
+                  const std::uint64_t *const *inputs,
+                  std::size_t input_count, std::size_t words,
+                  std::int32_t bits, std::int32_t *out);
+void bnnPanelAvx512(const std::uint64_t *rows_base, std::size_t row_stride,
+                    std::size_t row_count,
+                    const std::uint64_t *const *inputs,
+                    std::size_t input_count, std::size_t words,
+                    std::int32_t bits, std::int32_t *out);
+
+bool cpuHasAvx2();
+bool cpuHasAvx512Popcount();
+
+} // namespace detail
 
 } // namespace nlfm::tensor
 

@@ -15,8 +15,8 @@ namespace nlfm::tensor
 float
 dot(std::span<const float> a, std::span<const float> b)
 {
-    nlfm_assert(a.size() == b.size(), "dot: size mismatch ", a.size(), " vs ",
-                b.size());
+    nlfm_assert_hot(a.size() == b.size(), "dot: size mismatch ", a.size(),
+                    " vs ", b.size());
     // omp simd licenses the reduction reordering (compiled with
     // -fopenmp-simd, no runtime dependency); results stay deterministic
     // for a fixed build.
@@ -125,8 +125,8 @@ dotLanesBlock(const float *w, const float *const *xs, std::size_t n,
 float
 dotLanes(std::span<const float> a, std::span<const float> b)
 {
-    nlfm_assert(a.size() == b.size(), "dotLanes: size mismatch ", a.size(),
-                " vs ", b.size());
+    nlfm_assert_hot(a.size() == b.size(), "dotLanes: size mismatch ",
+                    a.size(), " vs ", b.size());
     const float *pb = b.data();
     float out = 0.f;
     dotLanesBlock<1>(a.data(), &pb, a.size(), &out);
@@ -137,21 +137,40 @@ void
 dotLanesRows(std::span<const float> w, std::span<const float *const> xs,
              std::span<float> out)
 {
-    nlfm_assert(xs.size() == out.size(), "dotLanesRows: shape mismatch");
+    nlfm_assert_hot(xs.size() == out.size(), "dotLanesRows: shape mismatch");
     const std::size_t n = w.size();
     std::size_t r = 0;
     for (; r + 8 <= xs.size(); r += 8)
         dotLanesBlock<8>(w.data(), xs.data() + r, n, out.data() + r);
-    if (xs.size() - r >= 4) {
+    // One instantiation per tail width: a ragged tail must not fall
+    // into a cascade of 4/2/1-row blocks, each of which re-streams the
+    // whole weight row (the memoized batch path evaluates miss-subsets
+    // of its slot panels here, so 1..7-row tails are its common case).
+    switch (xs.size() - r) {
+    case 7:
+        dotLanesBlock<7>(w.data(), xs.data() + r, n, out.data() + r);
+        break;
+    case 6:
+        dotLanesBlock<6>(w.data(), xs.data() + r, n, out.data() + r);
+        break;
+    case 5:
+        dotLanesBlock<5>(w.data(), xs.data() + r, n, out.data() + r);
+        break;
+    case 4:
         dotLanesBlock<4>(w.data(), xs.data() + r, n, out.data() + r);
-        r += 4;
-    }
-    if (xs.size() - r >= 2) {
+        break;
+    case 3:
+        dotLanesBlock<3>(w.data(), xs.data() + r, n, out.data() + r);
+        break;
+    case 2:
         dotLanesBlock<2>(w.data(), xs.data() + r, n, out.data() + r);
-        r += 2;
-    }
-    if (xs.size() - r == 1)
+        break;
+    case 1:
         dotLanesBlock<1>(w.data(), xs.data() + r, n, out.data() + r);
+        break;
+    default:
+        break;
+    }
 }
 
 float
@@ -164,7 +183,7 @@ dotPair(std::span<const float> a1, std::span<const float> b1,
 void
 axpy(float alpha, std::span<const float> x, std::span<float> y)
 {
-    nlfm_assert(x.size() == y.size(), "axpy: size mismatch");
+    nlfm_assert_hot(x.size() == y.size(), "axpy: size mismatch");
     for (std::size_t i = 0; i < x.size(); ++i)
         y[i] += alpha * x[i];
 }
@@ -180,8 +199,8 @@ void
 hadamard(std::span<const float> a, std::span<const float> b,
          std::span<float> out)
 {
-    nlfm_assert(a.size() == b.size() && a.size() == out.size(),
-                "hadamard: size mismatch");
+    nlfm_assert_hot(a.size() == b.size() && a.size() == out.size(),
+                    "hadamard: size mismatch");
     for (std::size_t i = 0; i < a.size(); ++i)
         out[i] = a[i] * b[i];
 }
@@ -189,8 +208,8 @@ hadamard(std::span<const float> a, std::span<const float> b,
 void
 add(std::span<const float> a, std::span<const float> b, std::span<float> out)
 {
-    nlfm_assert(a.size() == b.size() && a.size() == out.size(),
-                "add: size mismatch");
+    nlfm_assert_hot(a.size() == b.size() && a.size() == out.size(),
+                    "add: size mismatch");
     for (std::size_t i = 0; i < a.size(); ++i)
         out[i] = a[i] + b[i];
 }

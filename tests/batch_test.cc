@@ -265,6 +265,47 @@ TEST(BatchMemoTest, MatchesSerialEngineOutputsAndStats)
     }
 }
 
+TEST(BatchMemoTest, ProbeIsaVariantsGiveIdenticalOutputsAndStats)
+{
+    // The probe rewrite dispatches XOR-popcount kernels by ISA at
+    // runtime; every variant must leave outputs AND reuse decisions
+    // bit-identical (and identical to the serial engine, which pins the
+    // pre-rewrite behaviour). Run the same batch under every supported
+    // variant and compare against the portable one.
+    const nn::RnnConfig config = smallConfig(nn::CellType::Gru, true);
+    const auto network = buildNetwork(config);
+    nn::BinarizedNetwork bnn(*network);
+    const auto sequences = makeSequences(7, config.inputSize, 77);
+
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = 0.07;
+
+    ASSERT_TRUE(tensor::bnnSetIsa(tensor::BnnIsa::Portable));
+    memo::MemoEngine serial(*network, &bnn, options);
+    std::vector<nn::Sequence> reference;
+    for (const auto &sequence : sequences)
+        reference.push_back(network->forward(sequence, serial));
+
+    for (const tensor::BnnIsa isa :
+         {tensor::BnnIsa::Portable, tensor::BnnIsa::Avx2,
+          tensor::BnnIsa::Avx512}) {
+        if (!tensor::bnnSetIsa(isa))
+            continue; // unsupported on this host
+        memo::BatchMemoEngine batched(*network, &bnn, options);
+        const auto outputs = network->forwardBatch(sequences, batched);
+        for (std::size_t b = 0; b < sequences.size(); ++b)
+            expectBitwiseEqual(reference[b], outputs[b], b);
+        EXPECT_EQ(batched.stats().totalReused(),
+                  serial.stats().totalReused())
+            << "isa " << tensor::bnnIsaName(isa);
+        EXPECT_EQ(batched.stats().totalSlots(),
+                  serial.stats().totalSlots())
+            << "isa " << tensor::bnnIsaName(isa);
+    }
+    tensor::bnnSetIsa(tensor::bnnBestIsa());
+}
+
 TEST(BatchMemoTest, ThrottlingStateIsPerSequence)
 {
     // A batch of identical sequences must give every slot the same
