@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Open-loop load test of the continuous-batching server.
+ *
+ * Seeded from batch_throughput.cc, but measuring the serving question
+ * instead of the closed-batch one: under Poisson arrivals at a given
+ * offered load, what latency distribution (p50/p95/p99) and goodput
+ * (deadline-met completions/s) does the slot-pool server sustain, and
+ * how does the reuse threshold theta move the curve? Sequences have
+ * ragged lengths and arrive while the panel is mid-flight, so every run
+ * exercises mid-flight admission into recycled slots — the scenario the
+ * closed-batch bench cannot express.
+ *
+ * Offered load is calibrated against the closed-batch capacity of the
+ * same slot count, so "1.0x" means arrivals at the rate a perfectly
+ * packed batch could just sustain; above that the bounded queue fills
+ * and latency is dominated by queueing, which is the expected and
+ * reported behavior (goodput saturates, p99 explodes).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/bench_common.hh"
+#include "common/report.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace nlfm;
+
+/** Ragged copies of the workload inputs: length varies 50%..100%. */
+std::vector<nn::Sequence>
+makeRaggedRequests(std::span<const nn::Sequence> inputs,
+                   std::size_t count, Rng &rng)
+{
+    std::vector<nn::Sequence> requests;
+    requests.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const nn::Sequence &base = inputs[i % inputs.size()];
+        const std::size_t min_len = std::max<std::size_t>(1,
+                                                          base.size() / 2);
+        const std::size_t len =
+            min_len + rng.uniformInt(base.size() - min_len + 1);
+        requests.emplace_back(base.begin(),
+                              base.begin() + static_cast<long>(len));
+    }
+    return requests;
+}
+
+struct LoadPoint
+{
+    double thetaLo = 0.0;
+    double thetaHi = 0.0;
+    double offered = 0.0; ///< arrivals/s
+    serve::StatsSnapshot stats;
+};
+
+/**
+ * One open-loop run: @p count requests, exponential interarrivals at
+ * @p offered per second, alternating theta between lo and hi (the theta
+ * mix — mixed panels take the per-slot scalar decision path).
+ */
+serve::StatsSnapshot
+runLoad(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+        const serve::ServerOptions &options,
+        std::span<const nn::Sequence> requests, double theta_lo,
+        double theta_hi, double offered, double deadline_ms,
+        std::uint64_t seed)
+{
+    serve::Server server(network, &bnn, options);
+    Rng rng(seed);
+
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(requests.size());
+    auto next_arrival = serve::Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        // Open loop: arrival times are drawn independently of service
+        // progress; a busy server means queueing, not fewer arrivals.
+        const double gap_s =
+            -std::log(1.0 - rng.uniform()) / std::max(offered, 1e-9);
+        next_arrival += std::chrono::duration_cast<
+            serve::Clock::duration>(std::chrono::duration<double>(gap_s));
+        std::this_thread::sleep_until(next_arrival);
+
+        serve::Request request;
+        request.input = requests[i];
+        request.theta = i % 2 == 0 ? theta_lo : theta_hi;
+        request.deadlineMs = deadline_ms;
+        futures.push_back(server.enqueue(std::move(request)));
+    }
+    server.drain();
+    return server.stats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseBenchArgs(
+        argc, argv,
+        "open-loop serving load: latency percentiles and goodput vs "
+        "offered load under continuous batching, at two theta mixes");
+
+    const std::string name =
+        options.networks.size() == 1 ? options.networks.front()
+                                     : "DeepSpeech2";
+    const std::size_t steps =
+        options.steps != 0 ? options.steps : (options.quick ? 6 : 20);
+    const std::size_t slots = options.quick ? 4 : 8;
+    const std::size_t request_count = options.quick ? 10 : 40;
+
+    workloads::NetworkSpec spec = workloads::specByName(name);
+    if (spec.rnn.bidirectional) {
+        std::printf("serving_load: %s is bidirectional; the step-major "
+                    "serving loop needs a causal stack. Pick IMDB, "
+                    "DeepSpeech2, or MNMT.\n",
+                    name.c_str());
+        return 1;
+    }
+
+    std::printf("serving_load: %s (%s), %zu-slot pool, %zu requests, "
+                "<=%zu steps/sequence\n",
+                name.c_str(), spec.rnn.describe().c_str(), slots,
+                request_count, steps);
+
+    const auto workload = workloads::buildWorkload(spec, steps, slots);
+    nn::RnnNetwork &network = *workload->network;
+    nn::BinarizedNetwork &bnn = *workload->bnn;
+
+    Rng rng(2026);
+    const auto requests =
+        makeRaggedRequests(workload->testInputs, request_count, rng);
+    double mean_len = 0.0;
+    for (const auto &request : requests)
+        mean_len += static_cast<double>(request.size());
+    mean_len /= static_cast<double>(requests.size());
+
+    memo::MemoOptions memo_options;
+    memo_options.predictor = memo::PredictorKind::Bnn;
+    memo_options.theta = 0.05;
+
+    serve::ServerOptions server_options;
+    server_options.slots = slots;
+    server_options.queueCapacity =
+        std::max<std::size_t>(16, request_count);
+    server_options.memo = memo_options;
+
+    // Capacity calibration: closed-batch throughput of the same slot
+    // count on full-length inputs bounds what the server can sustain.
+    memo::BatchMemoEngine calibration(network, &bnn, memo_options);
+    const auto cal_inputs =
+        std::span<const nn::Sequence>(workload->testInputs)
+            .subspan(0, slots);
+    const auto cal_start = std::chrono::steady_clock::now();
+    network.forwardBatch(cal_inputs, calibration);
+    const double cal_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cal_start)
+            .count();
+    // Ragged requests average mean_len/steps of a full sequence.
+    const double capacity = static_cast<double>(slots) / cal_sec *
+                            (static_cast<double>(steps) / mean_len);
+    const double deadline_ms =
+        3.0 * 1000.0 * cal_sec / static_cast<double>(slots) +
+        500.0; // 3x ideal per-sequence service + queue allowance
+    std::printf("calibration: closed batch of %zu full sequences in "
+                "%.2fs -> ~%.2f ragged seq/s capacity; deadline %.0f ms"
+                "\n\n",
+                slots, cal_sec, capacity, deadline_ms);
+
+    // Two theta mixes (the >= 2 theta settings) x offered-load sweep.
+    struct ThetaMix
+    {
+        double lo, hi;
+    };
+    const ThetaMix mixes[] = {{0.01, 0.05}, {0.05, 0.20}};
+    const std::vector<double> load_multipliers =
+        options.quick ? std::vector<double>{0.5, 1.2}
+                      : std::vector<double>{0.4, 0.8, 1.4};
+
+    TablePrinter table("serving load sweep (" + name + ")");
+    table.setHeader({"theta mix", "offered/s", "completed/s",
+                     "goodput/s", "p50 ms", "p95 ms", "p99 ms",
+                     "mean queue ms", "reuse"});
+
+    std::vector<LoadPoint> points;
+    std::uint64_t seed = 7;
+    for (const ThetaMix &mix : mixes) {
+        for (const double multiplier : load_multipliers) {
+            const double offered = capacity * multiplier;
+            LoadPoint point;
+            point.thetaLo = mix.lo;
+            point.thetaHi = mix.hi;
+            point.offered = offered;
+            point.stats =
+                runLoad(network, bnn, server_options, requests, mix.lo,
+                        mix.hi, offered, deadline_ms, seed++);
+            points.push_back(point);
+
+            const serve::StatsSnapshot &s = point.stats;
+            table.addRow({formatDouble(mix.lo, 2) + "/" +
+                              formatDouble(mix.hi, 2),
+                          formatDouble(offered, 2),
+                          formatDouble(s.throughput(), 2),
+                          formatDouble(s.goodput(), 2),
+                          formatDouble(s.p50LatencyMs, 1),
+                          formatDouble(s.p95LatencyMs, 1),
+                          formatDouble(s.p99LatencyMs, 1),
+                          formatDouble(s.meanQueueMs, 1),
+                          formatPercent(s.meanReuse)});
+        }
+    }
+    table.print("serving_load");
+
+    // The full aggregate report of the last (most loaded) point, through
+    // the same common/report path the server exposes programmatically.
+    std::printf("\n%s\n",
+                points.back()
+                    .stats.report("last load point (theta mix " +
+                                      formatDouble(points.back().thetaLo,
+                                                   2) +
+                                      "/" +
+                                      formatDouble(points.back().thetaHi,
+                                                   2) +
+                                      ")",
+                                  "serving_load_last")
+                    .c_str());
+
+    // Sanity line for the CI smoke run: every request completed.
+    std::size_t completed = 0;
+    for (const LoadPoint &point : points)
+        completed += point.stats.completed;
+    std::printf("completed %zu/%zu requests across %zu load points\n",
+                completed, points.size() * requests.size(),
+                points.size());
+    return completed == points.size() * requests.size() ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal end-to-end use of the serving subsystem.
+ *
+ * Builds the IMDB-shaped sentiment network, starts a Server with a
+ * 4-slot pool, submits a handful of requests with different per-request
+ * reuse thresholds from two client threads, and prints each response's
+ * latency/reuse numbers plus the aggregate report. The whole program is
+ * the docs/SERVING.md walkthrough in runnable form.
+ */
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "workloads/model_zoo.hh"
+
+int
+main()
+{
+    using namespace nlfm;
+
+    // A resident model: network + binarized mirror, built once, served
+    // for the lifetime of the process.
+    const workloads::NetworkSpec &spec = workloads::specByName("IMDB");
+    const auto workload = workloads::buildWorkload(spec, /*steps=*/12,
+                                                   /*sequences=*/8);
+    std::printf("serving_demo: %s (%s)\n", spec.name.c_str(),
+                spec.rnn.describe().c_str());
+
+    serve::ServerOptions options;
+    options.slots = 4;
+    options.memo.predictor = memo::PredictorKind::Bnn;
+    options.memo.theta = 0.05; // default; requests may override
+    serve::Server server(*workload->network, workload->bnn.get(),
+                         options);
+
+    // Two client threads sharing one server: enqueue() and the returned
+    // futures are the whole client API.
+    const auto client = [&](std::size_t first, double theta,
+                            std::vector<std::future<serve::Response>>
+                                &futures) {
+        for (std::size_t i = first; i < workload->testInputs.size();
+             i += 2) {
+            serve::Request request;
+            request.input = workload->testInputs[i];
+            request.theta = theta;
+            request.deadlineMs = 5000.0;
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+    };
+    std::vector<std::future<serve::Response>> strict, relaxed;
+    std::thread strict_client(client, 0, 0.01, std::ref(strict));
+    std::thread relaxed_client(client, 1, 0.20, std::ref(relaxed));
+    strict_client.join();
+    relaxed_client.join();
+
+    const auto show = [](const char *label, serve::Response response) {
+        std::printf("  %s request %llu: %zu steps, theta %.2f, "
+                    "reuse %5.1f%%, queue %6.2f ms, service %6.2f ms, "
+                    "latency %6.2f ms%s\n",
+                    label,
+                    static_cast<unsigned long long>(response.id),
+                    response.steps, response.theta,
+                    100.0 * response.reuseFraction, response.queueMs,
+                    response.serviceMs, response.latencyMs,
+                    response.deadlineMet ? "" : "  (deadline missed)");
+    };
+    for (auto &future : strict)
+        show("strict ", serve::Server::collect(future));
+    for (auto &future : relaxed)
+        show("relaxed", serve::Server::collect(future));
+
+    std::printf("\n%s\n",
+                server.stats().report("serving_demo aggregate").c_str());
+    return 0;
+}

@@ -216,6 +216,63 @@ BatchMemoEngine::setTheta(double theta)
     nlfm_assert(theta >= 0.0, "negative threshold");
     options_.theta = theta;
     thetaQ_ = Q16::fromDouble(theta);
+    // The default changed: every slot follows it (per-slot overrides are
+    // per-tenant state and do not survive a global re-threshold).
+    if (!slotThetaFp_.empty()) {
+        std::fill(slotThetaRaw_.begin(), slotThetaRaw_.end(),
+                  thetaQ_.raw());
+        std::fill(slotThetaFp_.begin(), slotThetaFp_.end(),
+                  options_.theta);
+        nonDefaultThetaSlots_ = 0;
+    }
+}
+
+void
+BatchMemoEngine::resetSlot(std::size_t slot)
+{
+    nlfm_assert(slot < batch_, "resetSlot: slot out of range");
+    // Invalidate the memo entries: a cleared valid byte forces the first
+    // evaluation of every neuron to miss, which refreshes y_m / yb_m /
+    // delta_b wholesale — exactly the cold-start state beginBatch leaves.
+    const std::size_t neurons = network_.totalNeurons();
+    for (std::size_t n = 0; n < neurons; ++n)
+        valid_[n * slotStride_ + slot] = 0;
+    const std::size_t gates = network_.gateInstances().size();
+    for (std::size_t gate = 0; gate < gates; ++gate) {
+        slotReused_[gate * slotStride_ + slot] = 0;
+        slotTotal_[gate * slotStride_ + slot] = 0;
+    }
+    setSlotTheta(slot, options_.theta);
+}
+
+void
+BatchMemoEngine::admitSlot(std::size_t slot, double theta)
+{
+    resetSlot(slot);
+    if (theta >= 0.0)
+        setSlotTheta(slot, theta);
+}
+
+void
+BatchMemoEngine::setSlotTheta(std::size_t slot, double theta)
+{
+    nlfm_assert(slot < batch_, "setSlotTheta: slot out of range");
+    nlfm_assert(theta >= 0.0, "negative threshold");
+    const bool was_default = slotThetaFp_[slot] == options_.theta;
+    slotThetaRaw_[slot] = Q16::fromDouble(theta).raw();
+    slotThetaFp_[slot] = theta;
+    const bool is_default = theta == options_.theta;
+    if (was_default && !is_default)
+        ++nonDefaultThetaSlots_;
+    else if (!was_default && is_default)
+        --nonDefaultThetaSlots_;
+}
+
+double
+BatchMemoEngine::slotTheta(std::size_t slot) const
+{
+    nlfm_assert(slot < batch_, "slotTheta: slot out of range");
+    return slotThetaFp_[slot];
 }
 
 void
@@ -247,6 +304,9 @@ BatchMemoEngine::beginBatch(std::size_t total_sequences)
             deltaFp_.assign(entries, 0.0);
     }
     valid_.assign(entries, 0);
+    slotThetaRaw_.assign(slotStride_, thetaQ_.raw());
+    slotThetaFp_.assign(slotStride_, options_.theta);
+    nonDefaultThetaSlots_ = 0;
     const std::size_t gates = network_.gateInstances().size();
     slotReused_.assign(gates * slotStride_, 0);
     slotTotal_.assign(gates * slotStride_, 0);
@@ -287,7 +347,6 @@ BatchMemoEngine::evaluateOracleBatch(const nn::GateInstance &instance,
                                      std::size_t slot_base,
                                      tensor::Matrix &preact)
 {
-    const double theta = options_.theta;
     const std::size_t stat_base = instance.instanceId * slotStride_;
 
     // The Oracle always computes y_t (Eq. 9), so the whole panel goes
@@ -319,7 +378,8 @@ BatchMemoEngine::evaluateOracleBatch(const nn::GateInstance &instance,
             // evaluateNeuron produces.
             const float y_t = forward[i] + recurrent[i];
             const bool reuse = oracleReuseDecision(
-                y_t, cachedOutput_[entry], valid_[entry] != 0, theta);
+                y_t, cachedOutput_[entry], valid_[entry] != 0,
+                slotThetaFp_[slot]);
             if (reuse) {
                 // Use the stale value (Eq. 10); the entry is kept
                 // (Eq. 11).
@@ -346,8 +406,6 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     nn::BinarizedGate &bgate = bnn_->gate(instance.instanceId);
     const bool throttle = options_.throttle;
     const bool fixed_point = options_.fixedPoint;
-    const double theta = options_.theta;
-    const Q16 theta_q = thetaQ_;
     const std::size_t stat_base = instance.instanceId * slotStride_;
     const std::size_t slots = rows.size();
 
@@ -410,11 +468,14 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     yb_panel.resize(kProbeNeuronBlock * slots);
 
     // The vector decision path covers the default configuration
-    // (fixed-point CMP + throttling) over a dense slot range, with theta
-    // small enough that (theta + 1) * mag cannot leave 64 bits; anything
-    // else — including a forced non-AVX-512 probe ISA, so variant
-    // comparisons measure a genuinely ISA-free fallback — takes the
-    // scalar loop. Both make bit-identical decisions.
+    // (fixed-point CMP + throttling) over a dense slot range whose slots
+    // all sit at the engine-default theta (the serving path can give
+    // every slot its own threshold; mixed panels take the scalar loop,
+    // which reads the per-slot value), with theta small enough that
+    // (theta + 1) * mag cannot leave 64 bits; anything else — including
+    // a forced non-AVX-512 probe ISA, so variant comparisons measure a
+    // genuinely ISA-free fallback — takes the scalar loop. Both make
+    // bit-identical decisions.
 #if defined(__x86_64__)
     static const bool has_decide_isa =
         __builtin_cpu_supports("avx512f") > 0 &&
@@ -425,6 +486,7 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
         slots > 0 && slot_entry[slots - 1] - slot_entry[0] + 1 == slots;
     const bool vector_decide =
         has_decide_isa && fixed_point && throttle && dense &&
+        nonDefaultThetaSlots_ == 0 &&
         tensor::bnnActiveIsa() == tensor::BnnIsa::Avx512 &&
         thetaQ_.raw() <
             std::numeric_limits<std::int64_t>::max() /
@@ -461,10 +523,12 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
             std::size_t miss_count = 0;
 #if defined(__x86_64__)
             if (vector_decide) {
+                // vector_decide implies every slot sits at the default
+                // theta, so the uniform thetaQ_ is exact here.
                 miss_count = decideRowAvx512(
                     yb_row, slots, slot_entry[0], bnn_row, valid_row,
                     draw_row, y_row, reused_row, out_rows.data(), n,
-                    thetaQ_.raw(), theta_q, miss.data(),
+                    thetaQ_.raw(), thetaQ_, miss.data(),
                     miss_blocks.data());
             } else
 #endif
@@ -475,9 +539,13 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
                 const std::int64_t prev_raw =
                     fixed_point ? draw_row[e] : 0;
                 const double prev_fp = fixed_point ? 0.0 : dfp_row[e];
+                // Per-slot threshold: slots carry their own theta in
+                // serving mode (identical to the engine default in
+                // closed-batch mode).
                 const BnnDecision decision = bnnReuseDecision(
                     yb_t, bnn_row[e], valid_row[e] != 0, prev_raw,
-                    prev_fp, throttle, fixed_point, theta, theta_q);
+                    prev_fp, throttle, fixed_point, slotThetaFp_[e],
+                    Q16::fromRaw(slotThetaRaw_[e]));
 
                 if (decision.reuse) {
                     // Eq. 14 top: bypass the DPU, emit the cached

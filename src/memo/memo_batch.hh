@@ -1,20 +1,29 @@
-/**
- * @file
- * Batch mode of the fuzzy memoization engine.
- *
- * BatchMemoEngine is the BatchGateEvaluator counterpart of MemoEngine:
- * one engine carries the memo table of a whole batch, with per-neuron-
- * per-sequence entries (y_m, yb_m, delta_b, valid) laid out structure-of-
- * arrays with the sequence slot as the minor dimension, so a neuron's
- * weight row is read once and its decision loop walks contiguous slot
- * entries.
- *
- * Every sequence slot evolves exactly as a serial MemoEngine would evolve
- * for that sequence alone (shared decision kernels, memo/memo_decision.hh)
- * — including independent per-sequence throttling state — so outputs and
- * aggregated ReuseStats match the serial per-sequence run bit for bit,
- * for any chunk size and worker count.
- */
+/// @file
+/// Batch mode of the fuzzy memoization engine.
+///
+/// BatchMemoEngine is the BatchGateEvaluator counterpart of MemoEngine:
+/// one engine carries the memo table of a whole batch, with per-neuron-
+/// per-sequence entries (y_m, yb_m, delta_b, valid) laid out structure-of-
+/// arrays with the sequence slot as the minor dimension, so a neuron's
+/// weight row is read once and its decision loop walks contiguous slot
+/// entries.
+///
+/// Every sequence slot evolves exactly as a serial MemoEngine would evolve
+/// for that sequence alone (shared decision kernels, memo/memo_decision.hh)
+/// — including independent per-sequence throttling state — so outputs and
+/// aggregated ReuseStats match the serial per-sequence run bit for bit,
+/// for any chunk size and worker count.
+///
+/// Two usage modes share the same tables:
+///
+///  - **Closed batch** (RnnNetwork::forwardBatch): beginBatch() cold-starts
+///    every slot, the whole batch runs to completion, stats() reduces the
+///    per-slot counters.
+///  - **Serving** (serve::Server): beginBatch() sizes the table to the slot
+///    pool once, then admitSlot()/resetSlot() recycle individual slots as
+///    sequences complete and new requests are admitted mid-flight, each
+///    with its own reuse threshold (setSlotTheta). A recycled slot starts
+///    as cold as a fresh beginBatch — no memo state crosses tenants.
 
 #ifndef NLFM_MEMO_MEMO_BATCH_HH
 #define NLFM_MEMO_MEMO_BATCH_HH
@@ -26,25 +35,49 @@
 namespace nlfm::memo
 {
 
-/** Batched fuzzy memoization evaluator. */
+/// Batched fuzzy memoization evaluator.
 class BatchMemoEngine : public nn::BatchGateEvaluator
 {
   public:
-    /**
-     * @param network the full-precision network (must outlive the engine)
-     * @param bnn     binarized mirror; required for the BNN predictor
-     * @param options same knobs as the serial engine; recordTrace is a
-     *                serial-path feature and must be off
-     */
+    /// @param network the full-precision network (must outlive the engine)
+    /// @param bnn     binarized mirror; required for the BNN predictor
+    /// @param options same knobs as the serial engine; recordTrace is a
+    ///                serial-path feature and must be off. options.theta is
+    ///                the default per-slot threshold.
     BatchMemoEngine(const nn::RnnNetwork &network,
                     nn::BinarizedNetwork *bnn, const MemoOptions &options);
 
+    /// Change the default theta; also resets every slot's threshold to it.
     void setTheta(double theta);
     double theta() const { return options_.theta; }
     const MemoOptions &options() const { return options_; }
 
-    /** Cold-start every slot's memo table and reuse counters. */
+    /// Cold-start every slot's memo table and reuse counters.
     void beginBatch(std::size_t total_sequences) override;
+
+    /// Number of slots sized by the last beginBatch.
+    std::size_t slotCount() const { return batch_; }
+
+    /// Cold-start one slot: invalidate its memo entries, zero its reuse
+    /// counters, and restore the default theta. The per-tenant isolation
+    /// primitive of the serving path — after resetSlot the slot is
+    /// indistinguishable from one freshly sized by beginBatch.
+    ///
+    /// Must not run concurrently with evaluateGateBatch calls touching
+    /// the same slot (the serving driver admits between ticks, so this
+    /// holds by construction there).
+    void resetSlot(std::size_t slot);
+
+    /// resetSlot + setSlotTheta in one call: the admission step of the
+    /// serving scheduler. @p theta < 0 keeps the engine default.
+    void admitSlot(std::size_t slot, double theta = -1.0);
+
+    /// Per-request reuse threshold of one slot (Eq. 14's theta). Slots at
+    /// a non-default theta disable the uniform-theta AVX-512 decision
+    /// fast path for panels containing them; decisions stay bit-identical
+    /// either way (the scalar kernel honors the per-slot value).
+    void setSlotTheta(std::size_t slot, double theta);
+    double slotTheta(std::size_t slot) const;
 
     void evaluateGateBatch(const nn::GateInstance &instance,
                            const nn::GateParams &params,
@@ -53,14 +86,12 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
                            std::size_t slot_base,
                            tensor::Matrix &preact) override;
 
-    /**
-     * Reuse counters of the current batch, reduced over slots in slot
-     * order — a pure function of per-slot counters, so identical for
-     * every worker count.
-     */
+    /// Reuse counters of the current batch, reduced over slots in slot
+    /// order — a pure function of per-slot counters, so identical for
+    /// every worker count.
     ReuseStats stats() const;
 
-    /** Reuse fraction of one sequence slot. */
+    /// Reuse fraction of one sequence slot (since its last reset).
     double slotReuseFraction(std::size_t slot) const;
 
   private:
@@ -83,20 +114,23 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
 
     std::size_t batch_ = 0;
 
-    /**
-     * Slot stride of the SoA tables: batch_, rounded up to a cache line
-     * of the smallest element (valid_, 1 byte) for batches larger than
-     * one line of slots. Together with the cache-line-aligned
-     * allocations, chunk boundaries that fall on 64-slot multiples —
-     * which the BatchForwardOptions::chunkSize default of 64
-     * guarantees — never split a table cache line between chunks, so
-     * concurrent chunk workers cannot false-share memo state. A caller
-     * choosing a smaller chunkSize puts several chunks inside one line
-     * of valid_ and accepts that sharing (the engine never learns the
-     * chunk geometry; fixing sub-line chunks would need a chunk-major
-     * table layout).
-     */
+    /// Slot stride of the SoA tables: batch_, rounded up to a cache line
+    /// of the smallest element (valid_, 1 byte) for batches larger than
+    /// one line of slots. Together with the cache-line-aligned
+    /// allocations, chunk boundaries that fall on 64-slot multiples —
+    /// which the BatchForwardOptions::chunkSize default of 64
+    /// guarantees — never split a table cache line between chunks, so
+    /// concurrent chunk workers cannot false-share memo state. A caller
+    /// choosing a smaller chunkSize puts several chunks inside one line
+    /// of valid_ and accepts that sharing (the engine never learns the
+    /// chunk geometry; fixing sub-line chunks would need a chunk-major
+    /// table layout).
     std::size_t slotStride_ = 0;
+
+    /// Slots whose theta differs from options_.theta. Non-zero disables
+    /// the uniform-theta vector decision path (scalar decisions read the
+    /// per-slot threshold; both paths are bit-identical).
+    std::size_t nonDefaultThetaSlots_ = 0;
 
     // Memo table, SoA over [neuron][slot]: index flat_neuron *
     // slotStride_ + slot. Distinct slots belong to distinct sequences,
@@ -108,6 +142,10 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
     CacheAlignedVector<std::int64_t> deltaRaw_;  ///< delta_b (Q16 raw)
     CacheAlignedVector<double> deltaFp_;         ///< delta_b (double)
     CacheAlignedVector<std::uint8_t> valid_;
+
+    // Per-slot reuse threshold, both representations: index slot.
+    CacheAlignedVector<std::int64_t> slotThetaRaw_;
+    CacheAlignedVector<double> slotThetaFp_;
 
     // Per-gate-instance, per-slot counters: index gate * slotStride_ +
     // slot.

@@ -1,0 +1,62 @@
+#include "nn/network_stepper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::nn
+{
+
+NetworkStepper::NetworkStepper(RnnNetwork &network, std::size_t slots)
+    : network_(network), slots_(slots),
+      input_(slots, network.config().inputSize)
+{
+    nlfm_assert(slots > 0, "empty slot pool");
+    nlfm_assert(!network.config().bidirectional,
+                "step-major traversal needs causal cells; bidirectional "
+                "stacks cannot be served step by step");
+    states_.reserve(network_.layerCount());
+    for (std::size_t l = 0; l < network_.layerCount(); ++l)
+        states_.push_back(network_.layer(l).cell(0).makeBatchState(slots));
+}
+
+void
+NetworkStepper::resetSlot(std::size_t slot)
+{
+    nlfm_assert(slot < slots_, "resetSlot: slot out of range");
+    for (auto &state : states_) {
+        const auto h_row = state.h.row(slot);
+        std::fill(h_row.begin(), h_row.end(), 0.f);
+        if (!state.c.empty()) {
+            const auto c_row = state.c.row(slot);
+            std::fill(c_row.begin(), c_row.end(), 0.f);
+        }
+    }
+}
+
+void
+NetworkStepper::step(std::span<const std::size_t> rows,
+                     BatchGateEvaluator &eval)
+{
+    if (rows.empty())
+        return;
+    nlfm_assert(rows.back() < slots_, "step: row out of range");
+    // Layer l reads layer l-1's hidden panel *after* this step — within
+    // one call the stack advances top to bottom in dependency order, so
+    // slot s sees exactly the per-step data flow of the serial forward.
+    const tensor::Matrix *x = &input_;
+    for (std::size_t l = 0; l < network_.layerCount(); ++l) {
+        network_.layer(l).cell(0).stepBatch(*x, rows, /*slot_base=*/0,
+                                            states_[l], eval);
+        x = &states_[l].h;
+    }
+}
+
+std::span<const float>
+NetworkStepper::output(std::size_t slot) const
+{
+    nlfm_assert(slot < slots_, "output: slot out of range");
+    return states_.back().h.row(slot);
+}
+
+} // namespace nlfm::nn

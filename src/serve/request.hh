@@ -1,0 +1,76 @@
+/// @file
+/// Request/response types of the serving subsystem.
+///
+/// A Request is one inference job: an input sequence plus per-request
+/// quality (theta) and urgency (deadline) knobs. The Server answers with
+/// a Response carrying the full output sequence and the request's
+/// individual latency/reuse accounting — the per-request half of the
+/// accounting the paper's serving pitch (energy/latency under sustained
+/// traffic) is measured by.
+
+#ifndef NLFM_SERVE_REQUEST_HH
+#define NLFM_SERVE_REQUEST_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "nn/rnn_layer.hh"
+
+namespace nlfm::serve
+{
+
+/// Monotonic clock every serving timestamp uses.
+using Clock = std::chrono::steady_clock;
+
+/// One inference job submitted to a Server.
+struct Request
+{
+    /// Input sequence (per-step feature vectors of the network's input
+    /// width). Moved into the server on enqueue.
+    nn::Sequence input;
+
+    /// Per-request reuse threshold (Eq. 14's theta). Negative means the
+    /// server's default (ServerOptions::memo.theta). Ignored by exact
+    /// (non-memoized) servers.
+    double theta = -1.0;
+
+    /// Latency budget in milliseconds, measured enqueue -> completion.
+    /// 0 means no deadline. The server never drops late requests; the
+    /// deadline only feeds the goodput accounting (Response::deadlineMet).
+    double deadlineMs = 0.0;
+};
+
+/// Completion record of one request.
+struct Response
+{
+    /// Server-assigned id, dense in enqueue order.
+    std::uint64_t id = 0;
+
+    /// Per-step network outputs (the top layer's hidden state), exactly
+    /// length(input) steps of outputSize() floats — bitwise identical to
+    /// RnnNetwork::forward on the same input with the same theta.
+    nn::Sequence output;
+
+    /// Steps processed (== input length).
+    std::size_t steps = 0;
+
+    /// The theta the request was served at (after defaulting).
+    double theta = 0.0;
+
+    /// Fraction of neuron evaluations answered from the memo table
+    /// (0 for exact servers and zero-length inputs).
+    double reuseFraction = 0.0;
+
+    /// Time spent waiting in the request queue before a slot freed up.
+    double queueMs = 0.0;
+    /// Time from slot admission to final step.
+    double serviceMs = 0.0;
+    /// End-to-end latency (queueMs + serviceMs).
+    double latencyMs = 0.0;
+    /// latencyMs <= deadline (true when no deadline was set).
+    bool deadlineMet = true;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_REQUEST_HH

@@ -1,0 +1,89 @@
+#include "serve/request_queue.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+{
+    nlfm_assert(capacity > 0, "zero-capacity request queue");
+}
+
+bool
+RequestQueue::push(QueuedRequest &&item)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock,
+                  [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_)
+        return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::tryPush(QueuedRequest &&item)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+    }
+    notEmpty_.notify_one();
+    return true;
+}
+
+std::optional<QueuedRequest>
+RequestQueue::tryPop()
+{
+    std::optional<QueuedRequest> item;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return item;
+        item.emplace(std::move(items_.front()));
+        items_.pop_front();
+    }
+    notFull_.notify_one();
+    return item;
+}
+
+bool
+RequestQueue::waitNonEmpty(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait_for(lock, timeout,
+                       [&] { return closed_ || !items_.empty(); });
+    return !items_.empty();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+} // namespace nlfm::serve

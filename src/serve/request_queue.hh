@@ -1,0 +1,79 @@
+/// @file
+/// Bounded MPMC queue between client threads and the serving driver.
+///
+/// Clients (any number of threads) push requests; the driver loop pops
+/// them as slots free up. The queue is bounded so an overloaded server
+/// exerts backpressure at enqueue() instead of buffering unboundedly —
+/// under open-loop load beyond capacity, client threads block, which is
+/// the behavior the serving_load bench measures as queueing latency.
+///
+/// FIFO order is the scheduler's admission order: requests enter slots
+/// in exactly the order they left the queue, which keeps admission
+/// deterministic for a single client thread.
+
+#ifndef NLFM_SERVE_REQUEST_QUEUE_HH
+#define NLFM_SERVE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.hh"
+
+namespace nlfm::serve
+{
+
+/// A request plus the promise and timestamps that travel with it.
+struct QueuedRequest
+{
+    std::uint64_t id = 0;
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point enqueueTime{};
+};
+
+/// Bounded multi-producer/multi-consumer FIFO.
+class RequestQueue
+{
+  public:
+    /// @param capacity maximum queued (not yet admitted) requests; > 0.
+    explicit RequestQueue(std::size_t capacity);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// Blocking push: waits while the queue is full. Returns false when
+    /// the queue was closed (the item is then dropped — callers observe
+    /// shutdown via the future they kept).
+    bool push(QueuedRequest &&item);
+
+    /// Non-blocking push; false when full or closed.
+    bool tryPush(QueuedRequest &&item);
+
+    /// Non-blocking pop in FIFO order.
+    std::optional<QueuedRequest> tryPop();
+
+    /// Block until the queue is non-empty, closed, or @p timeout elapses.
+    /// Returns true when an item is (probably) available.
+    bool waitNonEmpty(std::chrono::milliseconds timeout);
+
+    /// Close the queue: pending and future pushes fail, pops drain what
+    /// remains. Idempotent.
+    void close();
+
+    bool closed() const;
+    std::size_t size() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<QueuedRequest> items_;
+    bool closed_ = false;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_REQUEST_QUEUE_HH

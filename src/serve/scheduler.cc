@@ -1,0 +1,80 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+Scheduler::Scheduler(std::size_t slots) : slots_(slots)
+{
+    nlfm_assert(slots > 0, "empty slot pool");
+    freeSlots_.reserve(slots);
+    for (std::size_t s = slots; s-- > 0;)
+        freeSlots_.push_back(s);
+    activeRows_.reserve(slots);
+}
+
+std::size_t
+Scheduler::admit(QueuedRequest &&item)
+{
+    nlfm_assert(hasFree(), "admit without a free slot");
+    const std::size_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+
+    SlotState &state = slots_[slot];
+    state.active = true;
+    state.id = item.id;
+    state.request = std::move(item.request);
+    state.promise = std::move(item.promise);
+    state.step = 0;
+    state.output.clear();
+    state.output.reserve(state.request.input.size());
+    state.enqueueTime = item.enqueueTime;
+    state.admitTime = Clock::now();
+    rebuildActiveRows();
+    return slot;
+}
+
+void
+Scheduler::release(std::size_t slot)
+{
+    nlfm_assert(slot < slots_.size() && slots_[slot].active,
+                "release of an inactive slot");
+    SlotState &state = slots_[slot];
+    state.active = false;
+    state.request = Request{};
+    state.output.clear();
+    // Keep the free list sorted descending (lowest slot at the back).
+    freeSlots_.insert(std::lower_bound(freeSlots_.begin(),
+                                       freeSlots_.end(), slot,
+                                       std::greater<std::size_t>()),
+                      slot);
+    rebuildActiveRows();
+}
+
+SlotState &
+Scheduler::slot(std::size_t index)
+{
+    nlfm_assert(index < slots_.size(), "slot index out of range");
+    return slots_[index];
+}
+
+const SlotState &
+Scheduler::slot(std::size_t index) const
+{
+    nlfm_assert(index < slots_.size(), "slot index out of range");
+    return slots_[index];
+}
+
+void
+Scheduler::rebuildActiveRows()
+{
+    activeRows_.clear();
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        if (slots_[s].active)
+            activeRows_.push_back(s);
+}
+
+} // namespace nlfm::serve

@@ -1,0 +1,79 @@
+/// @file
+/// Slot-pool scheduler of the continuous-batching driver.
+///
+/// The Server evaluates a fixed-width panel of sequence slots; the
+/// Scheduler owns the bookkeeping that maps requests onto those slots:
+/// which slots are free, which request occupies each active slot, and
+/// how far into its sequence each slot has stepped. Sequences of
+/// different lengths coexist — a slot frees the moment its own sequence
+/// completes, independent of its neighbors, and the next queued request
+/// is admitted into it on the following tick.
+///
+/// Admission policy: FIFO from the queue into the lowest-numbered free
+/// slot. Both choices are deterministic given the admission order, which
+/// is what makes serving runs reproducible enough to test (see
+/// docs/SERVING.md for what is and is not deterministic under load).
+///
+/// The Scheduler is not thread-safe: it is driven only by the server's
+/// driver loop. Clients never touch it.
+
+#ifndef NLFM_SERVE_SCHEDULER_HH
+#define NLFM_SERVE_SCHEDULER_HH
+
+#include <vector>
+
+#include "serve/request_queue.hh"
+
+namespace nlfm::serve
+{
+
+/// Occupancy record of one active slot.
+struct SlotState
+{
+    bool active = false;
+    std::uint64_t id = 0;          ///< request id
+    Request request;               ///< the admitted request
+    std::promise<Response> promise;
+    std::size_t step = 0;          ///< next input step to process
+    nn::Sequence output;           ///< per-step outputs collected so far
+    Clock::time_point enqueueTime{};
+    Clock::time_point admitTime{};
+};
+
+/// Fixed-width slot pool bookkeeping.
+class Scheduler
+{
+  public:
+    explicit Scheduler(std::size_t slots);
+
+    std::size_t slotCount() const { return slots_.size(); }
+    std::size_t activeCount() const { return activeRows_.size(); }
+    bool hasFree() const { return !freeSlots_.empty(); }
+
+    /// Admit one queued request into the lowest-numbered free slot.
+    /// Requires hasFree(). Returns the slot index.
+    std::size_t admit(QueuedRequest &&item);
+
+    /// Release a completed slot back to the free pool.
+    void release(std::size_t slot);
+
+    /// Active slot indices, ascending — the panel row set of the next
+    /// tick. Valid until the next admit/release.
+    std::span<const std::size_t> activeRows() const { return activeRows_; }
+
+    SlotState &slot(std::size_t index);
+    const SlotState &slot(std::size_t index) const;
+
+  private:
+    void rebuildActiveRows();
+
+    std::vector<SlotState> slots_;
+    /// Free slot indices, kept sorted descending so the lowest-numbered
+    /// slot pops from the back in O(1).
+    std::vector<std::size_t> freeSlots_;
+    std::vector<std::size_t> activeRows_;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_SCHEDULER_HH

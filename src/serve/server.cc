@@ -1,0 +1,263 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+namespace
+{
+
+double
+millis(Clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+Server::Server(nn::RnnNetwork &network, nn::BinarizedNetwork *bnn,
+               const ServerOptions &options)
+    : network_(network), options_(options),
+      queue_(options.queueCapacity), scheduler_(options.slots),
+      stepper_(network, options.slots)
+{
+    if (options_.memoized) {
+        engine_ = std::make_unique<memo::BatchMemoEngine>(
+            network, bnn, options_.memo);
+        // Size the slot-keyed memo table to the pool once; admission
+        // recycles slots individually from here on.
+        engine_->beginBatch(options_.slots);
+        evaluator_ = engine_.get();
+    } else {
+        exact_ = std::make_unique<nn::DirectBatchEvaluator>();
+        exact_->beginBatch(options_.slots);
+        evaluator_ = exact_.get();
+    }
+    if (options_.workers > 1)
+        pool_ = std::make_unique<ThreadPool>(options_.workers);
+    // Effective chunk size: chunkSize is an upper bound; with a pool,
+    // cap it so the requested workers can actually split the slot range
+    // (otherwise workers > 1 with slots <= chunkSize would silently
+    // step every tick single-threaded).
+    chunkSize_ = std::max<std::size_t>(1, options_.chunkSize);
+    if (options_.workers > 1)
+        chunkSize_ = std::min(
+            chunkSize_, std::max<std::size_t>(
+                            1, (options_.slots + options_.workers - 1) /
+                                   options_.workers));
+    // The measured interval opens with the server, so throughput
+    // denominators cover queueing from the very first enqueue.
+    stats_.start();
+    driver_ = std::thread([this] { driverLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::future<Response>
+Server::enqueue(Request request)
+{
+    QueuedRequest item;
+    item.id = nextId_.fetch_add(1);
+    item.request = std::move(request);
+    item.enqueueTime = Clock::now();
+    std::future<Response> future = item.promise.get_future();
+
+    // Validate client data here, on the client's thread: a malformed
+    // request fails its own future instead of reaching the driver (an
+    // assert there would take down every in-flight request).
+    for (const auto &frame : item.request.input) {
+        if (frame.size() != network_.config().inputSize) {
+            item.promise.set_exception(std::make_exception_ptr(
+                std::invalid_argument(
+                    "serve::Server: request frame width " +
+                    std::to_string(frame.size()) + " != network input " +
+                    std::to_string(network_.config().inputSize))));
+            return future;
+        }
+    }
+
+    enqueued_.fetch_add(1);
+    if (!queue_.push(std::move(item))) {
+        // Queue closed by stop(): fail the request explicitly instead of
+        // leaving a broken promise. (push only consumes the item on
+        // success, so the promise is still ours to fail.)
+        item.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("serve::Server stopped")));
+        completed_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(drainMutex_);
+        }
+        drainCv_.notify_all();
+    }
+    return future;
+}
+
+Response
+Server::collect(std::future<Response> &future)
+{
+    return future.get();
+}
+
+Response
+Server::collect(std::future<Response> &&future)
+{
+    return future.get();
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(drainMutex_);
+    drainCv_.wait(lock, [&] {
+        return completed_.load() >= enqueued_.load();
+    });
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    queue_.close();
+    if (driver_.joinable())
+        driver_.join();
+}
+
+void
+Server::driverLoop()
+{
+    while (true) {
+        admitPending();
+        if (scheduler_.activeCount() == 0) {
+            if (queue_.closed() && queue_.size() == 0)
+                break;
+            queue_.waitNonEmpty(std::chrono::milliseconds(2));
+            continue;
+        }
+        tick();
+    }
+}
+
+void
+Server::admitPending()
+{
+    while (scheduler_.hasFree()) {
+        auto item = queue_.tryPop();
+        if (!item)
+            break;
+        // Frame widths were validated in enqueue().
+        const double theta = item->request.theta;
+        const std::size_t slot = scheduler_.admit(std::move(*item));
+        stepper_.resetSlot(slot);
+        if (engine_)
+            engine_->admitSlot(slot, theta);
+        // A zero-length sequence has nothing to step: complete in place
+        // so it never wastes a panel row.
+        if (scheduler_.slot(slot).request.input.empty())
+            completeSlot(slot);
+    }
+}
+
+void
+Server::tick()
+{
+    const std::span<const std::size_t> rows = scheduler_.activeRows();
+
+    // Stage each active slot's current input frame into its panel row.
+    tensor::Matrix &input = stepper_.inputPanel();
+    for (const std::size_t slot : rows) {
+        const SlotState &state = scheduler_.slot(slot);
+        const auto &frame = state.request.input[state.step];
+        std::copy(frame.begin(), frame.end(), input.row(slot).begin());
+    }
+
+    // Step every active slot one timestep, split into slot-range chunks
+    // (boundaries depend only on the effective chunk size, as in
+    // forwardBatch, so panel composition per chunk is independent of
+    // worker count).
+    const std::size_t chunk_size = chunkSize_;
+    if (pool_ == nullptr ||
+        rows.back() / chunk_size == rows.front() / chunk_size) {
+        stepper_.step(rows, *evaluator_);
+    } else {
+        // tickRanges_[i] = [begin, end) indices into rows of chunk i's
+        // slots. A member, not a lambda-local: the lambda runs on pool
+        // workers, and they all need to read the driver's list.
+        auto &ranges = tickRanges_;
+        ranges.clear();
+        std::size_t begin = 0;
+        for (std::size_t i = 1; i <= rows.size(); ++i) {
+            if (i == rows.size() ||
+                rows[i] / chunk_size != rows[begin] / chunk_size) {
+                ranges.emplace_back(begin, i);
+                begin = i;
+            }
+        }
+        pool_->run(ranges.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t c = lo; c < hi; ++c)
+                stepper_.step(rows.subspan(ranges[c].first,
+                                           ranges[c].second -
+                                               ranges[c].first),
+                              *evaluator_);
+        });
+    }
+
+    // Collect outputs; completions release slots, which invalidates the
+    // active-row span, so gather them first.
+    auto &done = tickDone_;
+    done.clear();
+    for (const std::size_t slot : rows) {
+        SlotState &state = scheduler_.slot(slot);
+        const auto out = stepper_.output(slot);
+        state.output.emplace_back(out.begin(), out.end());
+        if (++state.step == state.request.input.size())
+            done.push_back(slot);
+    }
+    for (const std::size_t slot : done)
+        completeSlot(slot);
+}
+
+void
+Server::completeSlot(std::size_t slot)
+{
+    SlotState &state = scheduler_.slot(slot);
+    const Clock::time_point now = Clock::now();
+
+    Response response;
+    response.id = state.id;
+    response.steps = state.request.input.size();
+    response.theta = engine_ ? engine_->slotTheta(slot) : 0.0;
+    response.reuseFraction =
+        engine_ ? engine_->slotReuseFraction(slot) : 0.0;
+    response.queueMs = millis(state.admitTime - state.enqueueTime);
+    response.serviceMs = millis(now - state.admitTime);
+    response.latencyMs = millis(now - state.enqueueTime);
+    response.deadlineMet = state.request.deadlineMs <= 0.0 ||
+                           response.latencyMs <= state.request.deadlineMs;
+    response.output = std::move(state.output);
+
+    stats_.record(response);
+    state.promise.set_value(std::move(response));
+    // Restore the default theta while the slot sits free: a stale
+    // non-default value would keep counting against the engine's
+    // uniform-theta vector decision path even with no such tenant
+    // active. (Admission re-resets it anyway.)
+    if (engine_)
+        engine_->setSlotTheta(slot, engine_->theta());
+    scheduler_.release(slot);
+
+    completed_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+    }
+    drainCv_.notify_all();
+}
+
+} // namespace nlfm::serve

@@ -1,0 +1,174 @@
+/// @file
+/// Long-lived RNN inference server with continuous batching.
+///
+/// A Server keeps one model resident — the full-precision network, its
+/// binarized mirror, and a slot pool of per-sequence memo/recurrent
+/// state — and serves a stream of requests by admitting each one into a
+/// free slot of the panel *while its neighbors are mid-sequence*. Every
+/// driver tick advances all active slots one timestep through the whole
+/// stack; a slot whose sequence completes is released and refilled from
+/// the request queue on the next tick. That is continuous batching: the
+/// panel never drains to admit new work, so weight-stream amortization
+/// (the reason the batch path exists) holds under ragged, open-loop
+/// arrivals instead of only for closed batches.
+///
+/// Quality/latency knobs are per request: each admitted sequence carries
+/// its own reuse threshold theta (BatchMemoEngine::setSlotTheta) and an
+/// optional deadline that feeds the goodput accounting.
+///
+/// Determinism (details in docs/SERVING.md): each request's *output* is
+/// bitwise identical to RnnNetwork::forward on the same input at the
+/// same theta, regardless of what else shared the panel, which slot it
+/// landed in, worker count, or chunk size. *Aggregate* numbers
+/// (latencies, which tick admitted what) depend on wall-clock timing and
+/// are not reproducible run to run.
+///
+/// Threading model: clients call enqueue()/collect() from any thread;
+/// one internal driver thread owns the scheduler, stepper, and engine;
+/// panel work inside a tick is optionally spread over a private
+/// ThreadPool (ServerOptions::workers). The pool is private because
+/// ThreadPool::run is not reentrant — sharing one pool between the
+/// driver and outside callers would interleave two jobs on one pool
+/// state.
+
+#ifndef NLFM_SERVE_SERVER_HH
+#define NLFM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/parallel.hh"
+#include "memo/memo_batch.hh"
+#include "nn/network_stepper.hh"
+#include "serve/scheduler.hh"
+#include "serve/stats.hh"
+
+namespace nlfm::serve
+{
+
+/// Server configuration.
+struct ServerOptions
+{
+    /// Slot-pool width: sequences evaluated concurrently per tick. The
+    /// panel amortizes each weight-row read over the live slots, so
+    /// larger pools raise throughput until the memo tables outgrow
+    /// cache; see docs/SERVING.md for tuning.
+    std::size_t slots = 8;
+
+    /// Request-queue capacity; enqueue() blocks (backpressure) when the
+    /// queue is full.
+    std::size_t queueCapacity = 64;
+
+    /// Memoization configuration; memo.theta is the default per-request
+    /// theta. recordTrace must be off (serial-path feature).
+    memo::MemoOptions memo{};
+
+    /// false serves exact (DirectBatchEvaluator) instead of memoized —
+    /// the baseline the serving_load bench compares against.
+    bool memoized = true;
+
+    /// Stepping threads per tick, including the driver thread; 1 steps
+    /// every chunk on the driver. Values > 1 spin up a private
+    /// ThreadPool.
+    std::size_t workers = 1;
+
+    /// Upper bound on slots per worker chunk within a tick (same
+    /// determinism contract as BatchForwardOptions::chunkSize, same
+    /// default, same cache-line rationale — see that field's doc).
+    /// With workers > 1 the server caps the effective chunk size at
+    /// ceil(slots / workers) so the pool actually engages at small
+    /// pool widths; chunks under 64 slots then share memo-table cache
+    /// lines across workers (benign for correctness, see the
+    /// BatchForwardOptions doc). Outputs are identical for every chunk
+    /// geometry either way.
+    std::size_t chunkSize = 64;
+};
+
+/// Continuous-batching inference server.
+class Server
+{
+  public:
+    /// @param network unidirectional stack (asserted by NetworkStepper);
+    ///                must outlive the server
+    /// @param bnn     binarized mirror; required when options.memoized
+    ///                with the BNN predictor, unused otherwise
+    Server(nn::RnnNetwork &network, nn::BinarizedNetwork *bnn,
+           const ServerOptions &options);
+
+    /// Stops and joins the driver (drains already-queued requests).
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    const ServerOptions &options() const { return options_; }
+
+    /// Submit one request. Blocks while the queue is full. The returned
+    /// future resolves when the request's last step completes; after
+    /// stop() it carries a std::runtime_error instead.
+    std::future<Response> enqueue(Request request);
+
+    /// Block on one future and return its Response (convenience; any
+    /// future-composition works too).
+    static Response collect(std::future<Response> &future);
+    static Response collect(std::future<Response> &&future);
+
+    /// Block until every request enqueued so far has completed.
+    void drain();
+
+    /// Close the queue, drain, and stop the driver thread. Idempotent;
+    /// enqueue after stop() returns a failed future.
+    void stop();
+
+    /// Aggregate accounting of completed requests since construction
+    /// (or the last resetStats). Bounded memory: see ServingStats.
+    StatsSnapshot stats() const { return stats_.snapshot(); }
+
+    /// Open a fresh measurement window (windowed load studies).
+    void resetStats() { stats_.reset(); }
+
+    /// Requests currently queued (not yet admitted).
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    void driverLoop();
+    void admitPending();
+    void tick();
+    void completeSlot(std::size_t slot);
+
+    nn::RnnNetwork &network_;
+    ServerOptions options_;
+
+    RequestQueue queue_;
+    Scheduler scheduler_;
+    nn::NetworkStepper stepper_;
+
+    /// Exactly one of engine_/exact_ serves, per options_.memoized.
+    std::unique_ptr<memo::BatchMemoEngine> engine_;
+    std::unique_ptr<nn::DirectBatchEvaluator> exact_;
+    nn::BatchGateEvaluator *evaluator_ = nullptr;
+
+    std::unique_ptr<ThreadPool> pool_; ///< null when workers == 1
+    std::size_t chunkSize_ = 64;       ///< effective per-tick chunk size
+
+    ServingStats stats_;
+
+    std::atomic<std::uint64_t> nextId_{0};
+    std::atomic<std::uint64_t> enqueued_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+
+    // Driver-tick scratch (touched by the driver thread; tickRanges_ is
+    // read by pool workers inside a tick).
+    std::vector<std::pair<std::size_t, std::size_t>> tickRanges_;
+    std::vector<std::size_t> tickDone_;
+
+    std::atomic<bool> stopping_{false};
+    std::thread driver_;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_SERVER_HH

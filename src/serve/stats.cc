@@ -1,0 +1,138 @@
+#include "serve/stats.hh"
+
+#include "common/report.hh"
+#include "common/stats.hh"
+
+namespace nlfm::serve
+{
+
+double
+StatsSnapshot::throughput() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(completed) / wallSeconds
+               : 0.0;
+}
+
+double
+StatsSnapshot::goodput() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(deadlineMet) / wallSeconds
+               : 0.0;
+}
+
+std::string
+StatsSnapshot::report(const std::string &title,
+                      const std::string &csv_tag) const
+{
+    TablePrinter table(title);
+    table.setHeader({"metric", "value"});
+    table.addRow({"completed", std::to_string(completed)});
+    table.addRow({"steps", std::to_string(totalSteps)});
+    table.addRow({"wall s", formatDouble(wallSeconds)});
+    table.addRow({"throughput seq/s", formatDouble(throughput())});
+    table.addRow({"goodput seq/s", formatDouble(goodput())});
+    table.addRow({"p50 latency ms", formatDouble(p50LatencyMs)});
+    table.addRow({"p95 latency ms", formatDouble(p95LatencyMs)});
+    table.addRow({"p99 latency ms", formatDouble(p99LatencyMs)});
+    table.addRow({"mean latency ms", formatDouble(meanLatencyMs)});
+    table.addRow({"mean queue ms", formatDouble(meanQueueMs)});
+    table.addRow({"mean service ms", formatDouble(meanServiceMs)});
+    table.addRow({"mean reuse", formatPercent(meanReuse)});
+    std::string out = table.str();
+    if (!csv_tag.empty())
+        out += table.csv(csv_tag);
+    return out;
+}
+
+void
+ServingStats::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+        started_ = true;
+        startTime_ = Clock::now();
+        lastCompletion_ = startTime_;
+    }
+}
+
+void
+ServingStats::record(const Response &response)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+        started_ = true;
+        startTime_ = Clock::now();
+    }
+    lastCompletion_ = Clock::now();
+
+    // Exact running aggregates — O(1) memory regardless of lifetime.
+    ++completed_;
+    latencySumMs_ += response.latencyMs;
+    queueSumMs_ += response.queueMs;
+    serviceSumMs_ += response.serviceMs;
+    reuseSum_ += response.reuseFraction;
+    if (response.deadlineMet)
+        ++deadlineMet_;
+    totalSteps_ += response.steps;
+
+    // Percentile reservoir (Algorithm R): keep a uniform sample of the
+    // latency history once the cap is exceeded. SplitMix64 for the
+    // replacement index — cheap, deterministic, and independent of the
+    // workload RNG streams.
+    if (latencyMs_.size() < kReservoirCap) {
+        latencyMs_.push_back(response.latencyMs);
+    } else {
+        rngState_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = rngState_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const std::uint64_t index = z % completed_;
+        if (index < kReservoirCap)
+            latencyMs_[index] = response.latencyMs;
+    }
+}
+
+StatsSnapshot
+ServingStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StatsSnapshot snap;
+    snap.completed = completed_;
+    snap.deadlineMet = deadlineMet_;
+    snap.totalSteps = totalSteps_;
+    if (started_)
+        snap.wallSeconds =
+            std::chrono::duration<double>(lastCompletion_ - startTime_)
+                .count();
+    if (completed_ > 0) {
+        const double n = static_cast<double>(completed_);
+        snap.meanLatencyMs = latencySumMs_ / n;
+        snap.meanQueueMs = queueSumMs_ / n;
+        snap.meanServiceMs = serviceSumMs_ / n;
+        snap.meanReuse = reuseSum_ / n;
+        snap.p50LatencyMs = percentile(latencyMs_, 50.0);
+        snap.p95LatencyMs = percentile(latencyMs_, 95.0);
+        snap.p99LatencyMs = percentile(latencyMs_, 99.0);
+    }
+    return snap;
+}
+
+void
+ServingStats::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = false;
+    latencyMs_.clear();
+    completed_ = 0;
+    latencySumMs_ = 0.0;
+    queueSumMs_ = 0.0;
+    serviceSumMs_ = 0.0;
+    reuseSum_ = 0.0;
+    deadlineMet_ = 0;
+    totalSteps_ = 0;
+}
+
+} // namespace nlfm::serve

@@ -1,0 +1,100 @@
+/// @file
+/// Aggregate serving accounting: latency percentiles, throughput,
+/// goodput, reuse.
+///
+/// Per-request numbers travel in each Response; this accumulator is the
+/// aggregate half — every completed request is recorded once, and a
+/// Snapshot reduces the sample set to the numbers a capacity planner
+/// reads (p50/p95/p99 latency, completed and deadline-met throughput,
+/// mean reuse). Reports render through common/report's TablePrinter so
+/// bench output stays eyeball-able and machine-parseable like every
+/// other bench in the repo.
+
+#ifndef NLFM_SERVE_STATS_HH
+#define NLFM_SERVE_STATS_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace nlfm::serve
+{
+
+/// Reduced view of a serving interval.
+struct StatsSnapshot
+{
+    std::size_t completed = 0;
+    std::size_t deadlineMet = 0;
+    std::size_t totalSteps = 0;
+    double wallSeconds = 0.0;
+
+    double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double meanLatencyMs = 0.0;
+    double meanQueueMs = 0.0;
+    double meanServiceMs = 0.0;
+    double meanReuse = 0.0;
+
+    /// Completed requests per wall second.
+    double throughput() const;
+    /// Deadline-met requests per wall second (== throughput when no
+    /// request carried a deadline).
+    double goodput() const;
+
+    /// Render as a two-column table via common/report; @p csv_tag
+    /// non-empty additionally emits the machine-readable CSV block.
+    std::string report(const std::string &title,
+                       const std::string &csv_tag = "") const;
+};
+
+/// Thread-safe accumulator of completed requests.
+///
+/// Memory is bounded for long-lived servers: counts and means are exact
+/// running aggregates, while the latency percentiles come from a
+/// fixed-size uniform reservoir (Vitter's Algorithm R, deterministic
+/// internal RNG) once more than kReservoirCap requests complete —
+/// statistically representative of the whole interval, O(1) per
+/// request. reset() opens a fresh measurement window (also exposed as
+/// Server::resetStats for windowed load studies).
+class ServingStats
+{
+  public:
+    /// Latency samples kept for percentile estimation.
+    static constexpr std::size_t kReservoirCap = 1 << 16;
+
+    /// Mark the start of the measured interval (first call wins until
+    /// reset()).
+    void start();
+
+    /// Record one completed request.
+    void record(const Response &response);
+
+    /// Reduce everything recorded since start()/reset(). Wall time runs
+    /// from start() to the last recorded completion.
+    StatsSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    bool started_ = false;
+    Clock::time_point startTime_{};
+    Clock::time_point lastCompletion_{};
+    /// Uniform sample of per-request latencies (percentiles only).
+    std::vector<double> latencyMs_;
+    std::size_t completed_ = 0;
+    double latencySumMs_ = 0.0;
+    double queueSumMs_ = 0.0;
+    double serviceSumMs_ = 0.0;
+    double reuseSum_ = 0.0;
+    std::size_t deadlineMet_ = 0;
+    std::size_t totalSteps_ = 0;
+    std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_STATS_HH

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * The serving subsystem's contract tests.
+ *
+ *  - Staggered admission (continuous batching) produces per-sequence
+ *    outputs bitwise identical to the standalone closed-batch path and
+ *    to the serial per-sequence path.
+ *  - A slot recycled between tenants starts cold: no memo state leaks
+ *    from the previous occupant.
+ *  - Per-request theta is honored even when mixed-theta requests share
+ *    one panel.
+ *  - Outputs are deterministic across server worker counts and chunk
+ *    sizes.
+ *  - RequestQueue preserves FIFO order, enforces capacity, and fails
+ *    cleanly on close.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "memo/memo_batch.hh"
+#include "memo/memo_engine.hh"
+#include "nn/init.hh"
+#include "serve/server.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+nn::RnnConfig
+servingConfig(nn::CellType cell)
+{
+    nn::RnnConfig config;
+    config.cellType = cell;
+    config.inputSize = 6;
+    config.hiddenSize = 8;
+    config.layers = 2;
+    config.bidirectional = false; // serving is step-major: causal only
+    config.peepholes = true;
+    return config;
+}
+
+std::vector<nn::Sequence>
+makeSequences(std::size_t count, std::size_t width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<nn::Sequence> sequences(count);
+    for (std::size_t b = 0; b < count; ++b) {
+        sequences[b].assign(3 + (b * 7) % 11, std::vector<float>(width));
+        for (auto &frame : sequences[b])
+            rng.fillNormal(frame, 0.0, 1.0);
+    }
+    return sequences;
+}
+
+void
+expectSequenceIdentical(const nn::Sequence &expected,
+                        const nn::Sequence &actual,
+                        const std::string &label)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(expected[t].size(), actual[t].size())
+            << label << " step " << t;
+        for (std::size_t i = 0; i < expected[t].size(); ++i)
+            ASSERT_EQ(expected[t][i], actual[t][i])
+                << label << " step " << t << " element " << i;
+    }
+}
+
+/** Serial per-sequence reference at one theta. */
+nn::Sequence
+serialReference(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+                const nn::Sequence &input, double theta)
+{
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = theta;
+    memo::MemoEngine engine(network, &bnn, options);
+    return network.forward(input, engine);
+}
+
+TEST(RequestQueueTest, FifoOrderCapacityAndClose)
+{
+    serve::RequestQueue queue(2);
+    EXPECT_EQ(queue.capacity(), 2u);
+    EXPECT_FALSE(queue.tryPop().has_value());
+
+    serve::QueuedRequest a;
+    a.id = 1;
+    serve::QueuedRequest b;
+    b.id = 2;
+    serve::QueuedRequest c;
+    c.id = 3;
+    EXPECT_TRUE(queue.tryPush(std::move(a)));
+    EXPECT_TRUE(queue.tryPush(std::move(b)));
+    // Full: bounded queues reject instead of buffering unboundedly.
+    EXPECT_FALSE(queue.tryPush(std::move(c)));
+    EXPECT_EQ(queue.size(), 2u);
+
+    auto first = queue.tryPop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->id, 1u);
+
+    // Space freed: c goes in now, after b.
+    EXPECT_TRUE(queue.tryPush(std::move(c)));
+    auto second = queue.tryPop();
+    auto third = queue.tryPop();
+    ASSERT_TRUE(second.has_value());
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(second->id, 2u);
+    EXPECT_EQ(third->id, 3u);
+
+    queue.close();
+    serve::QueuedRequest d;
+    EXPECT_FALSE(queue.tryPush(std::move(d)));
+    EXPECT_FALSE(queue.push(std::move(d)));
+    EXPECT_TRUE(queue.closed());
+}
+
+TEST(ServeTest, StaggeredAdmissionMatchesSerialAndClosedBatch)
+{
+    for (const nn::CellType cell :
+         {nn::CellType::Lstm, nn::CellType::Gru}) {
+        const nn::RnnConfig config = servingConfig(cell);
+        nn::RnnNetwork network(config);
+        Rng rng(31);
+        nn::initNetwork(network, rng);
+        nn::BinarizedNetwork bnn(network);
+        const auto sequences = makeSequences(9, config.inputSize, 101);
+
+        memo::MemoOptions memo_options;
+        memo_options.predictor = memo::PredictorKind::Bnn;
+        memo_options.theta = 0.05;
+
+        // Closed-batch reference: all 9 sequences in one beginBatch.
+        memo::BatchMemoEngine batch_engine(network, &bnn, memo_options);
+        const auto batch_reference =
+            network.forwardBatch(sequences, batch_engine);
+
+        // Serve the same 9 sequences through 3 slots: admission is
+        // necessarily staggered — slots recycle mid-flight as shorter
+        // sequences finish while longer neighbors keep stepping.
+        serve::ServerOptions options;
+        options.slots = 3;
+        options.memo = memo_options;
+        serve::Server server(network, &bnn, options);
+
+        std::vector<std::future<serve::Response>> futures;
+        for (const auto &sequence : sequences) {
+            serve::Request request;
+            request.input = sequence;
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+
+        for (std::size_t b = 0; b < sequences.size(); ++b) {
+            const serve::Response response =
+                serve::Server::collect(futures[b]);
+            EXPECT_EQ(response.steps, sequences[b].size());
+            EXPECT_DOUBLE_EQ(response.theta, memo_options.theta);
+            expectSequenceIdentical(batch_reference[b], response.output,
+                                    "vs closed batch, request " +
+                                        std::to_string(b));
+            expectSequenceIdentical(
+                serialReference(network, bnn, sequences[b],
+                                memo_options.theta),
+                response.output,
+                "vs serial, request " + std::to_string(b));
+        }
+
+        const serve::StatsSnapshot stats = server.stats();
+        EXPECT_EQ(stats.completed, sequences.size());
+        EXPECT_EQ(stats.deadlineMet, sequences.size());
+    }
+}
+
+TEST(ServeTest, RecycledSlotStartsCold)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(41);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(1, config.inputSize, 113);
+
+    // A generous theta makes any leaked memo state reuse immediately —
+    // if the second tenant saw the first tenant's table, its outputs
+    // would diverge from the cold-start serial reference.
+    memo::MemoOptions memo_options;
+    memo_options.predictor = memo::PredictorKind::Bnn;
+    memo_options.theta = 0.25;
+
+    const nn::Sequence reference =
+        serialReference(network, bnn, sequences[0], memo_options.theta);
+
+    serve::ServerOptions options;
+    options.slots = 1; // every request lands in the same recycled slot
+    options.memo = memo_options;
+    serve::Server server(network, &bnn, options);
+
+    for (int round = 0; round < 3; ++round) {
+        serve::Request request;
+        request.input = sequences[0];
+        auto future = server.enqueue(std::move(request));
+        const serve::Response response = serve::Server::collect(future);
+        expectSequenceIdentical(reference, response.output,
+                                "round " + std::to_string(round));
+        EXPECT_GT(response.reuseFraction, 0.0)
+            << "theta=0.25 should reuse within the sequence";
+    }
+}
+
+TEST(ServeTest, PerRequestThetaHonoredInMixedPanels)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Gru);
+    nn::RnnNetwork network(config);
+    Rng rng(53);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(8, config.inputSize, 127);
+
+    memo::MemoOptions memo_options;
+    memo_options.predictor = memo::PredictorKind::Bnn;
+    memo_options.theta = 0.05; // server default, overridden per request
+
+    serve::ServerOptions options;
+    options.slots = 4; // several mixed-theta requests share each panel
+    options.memo = memo_options;
+    serve::Server server(network, &bnn, options);
+
+    const double thetas[] = {0.01, 0.15};
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        serve::Request request;
+        request.input = sequences[b];
+        request.theta = thetas[b % 2];
+        futures.push_back(server.enqueue(std::move(request)));
+    }
+
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        const serve::Response response =
+            serve::Server::collect(futures[b]);
+        const double theta = thetas[b % 2];
+        EXPECT_DOUBLE_EQ(response.theta, theta) << "request " << b;
+        expectSequenceIdentical(
+            serialReference(network, bnn, sequences[b], theta),
+            response.output,
+            "theta=" + std::to_string(theta) + ", request " +
+                std::to_string(b));
+    }
+}
+
+TEST(ServeTest, OutputsDeterministicAcrossWorkersAndChunks)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(61);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(10, config.inputSize, 131);
+
+    memo::MemoOptions memo_options;
+    memo_options.predictor = memo::PredictorKind::Bnn;
+    memo_options.theta = 0.05;
+
+    struct Variant
+    {
+        std::size_t workers;
+        std::size_t chunkSize;
+    };
+    // chunkSize 2 forces several chunks per tick so the pool path runs;
+    // the single-worker default is the reference.
+    const Variant variants[] = {{1, 64}, {3, 2}, {4, 3}};
+
+    std::vector<nn::Sequence> reference;
+    for (const Variant &variant : variants) {
+        serve::ServerOptions options;
+        options.slots = 5;
+        options.memo = memo_options;
+        options.workers = variant.workers;
+        options.chunkSize = variant.chunkSize;
+        serve::Server server(network, &bnn, options);
+
+        std::vector<std::future<serve::Response>> futures;
+        for (const auto &sequence : sequences) {
+            serve::Request request;
+            request.input = sequence;
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+
+        std::vector<nn::Sequence> outputs;
+        for (auto &future : futures)
+            outputs.push_back(serve::Server::collect(future).output);
+
+        if (reference.empty()) {
+            reference = std::move(outputs);
+        } else {
+            for (std::size_t b = 0; b < reference.size(); ++b)
+                expectSequenceIdentical(
+                    reference[b], outputs[b],
+                    "workers=" + std::to_string(variant.workers) +
+                        " chunk=" + std::to_string(variant.chunkSize) +
+                        ", request " + std::to_string(b));
+        }
+    }
+}
+
+TEST(ServeTest, ExactServerMatchesBaselineAndHandlesEdgeRequests)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(71);
+    nn::initNetwork(network, rng);
+    const auto sequences = makeSequences(4, config.inputSize, 137);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memoized = false; // exact panel evaluation, no BNN needed
+    serve::Server server(network, /*bnn=*/nullptr, options);
+
+    // A zero-length request completes immediately with an empty output.
+    serve::Request empty;
+    auto empty_future = server.enqueue(std::move(empty));
+
+    std::vector<std::future<serve::Response>> futures;
+    for (const auto &sequence : sequences) {
+        serve::Request request;
+        request.input = sequence;
+        request.deadlineMs = 60000.0;
+        futures.push_back(server.enqueue(std::move(request)));
+    }
+
+    const serve::Response empty_response =
+        serve::Server::collect(empty_future);
+    EXPECT_EQ(empty_response.steps, 0u);
+    EXPECT_TRUE(empty_response.output.empty());
+
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        const serve::Response response =
+            serve::Server::collect(futures[b]);
+        EXPECT_EQ(response.reuseFraction, 0.0);
+        EXPECT_TRUE(response.deadlineMet);
+        expectSequenceIdentical(network.forwardBaseline(sequences[b]),
+                                response.output,
+                                "exact request " + std::to_string(b));
+    }
+
+    server.stop();
+    // Enqueue after stop fails the future instead of hanging.
+    serve::Request late;
+    late.input = sequences[0];
+    auto late_future = server.enqueue(std::move(late));
+    EXPECT_THROW(late_future.get(), std::runtime_error);
+}
+
+TEST(ServeTest, MalformedRequestFailsItsOwnFutureOnly)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Gru);
+    nn::RnnNetwork network(config);
+    Rng rng(89);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(2, config.inputSize, 149);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memo.predictor = memo::PredictorKind::Bnn;
+    serve::Server server(network, &bnn, options);
+
+    // Wrong frame width: rejected at enqueue, the server keeps running.
+    serve::Request bad;
+    bad.input.assign(4, std::vector<float>(config.inputSize + 3, 0.f));
+    auto bad_future = server.enqueue(std::move(bad));
+    EXPECT_THROW(bad_future.get(), std::invalid_argument);
+
+    serve::Request good;
+    good.input = sequences[0];
+    auto good_future = server.enqueue(std::move(good));
+    expectSequenceIdentical(
+        serialReference(network, bnn, sequences[0],
+                        options.memo.theta),
+        serve::Server::collect(good_future).output, "after rejection");
+    server.drain(); // must not count the rejected request as pending
+}
+
+TEST(ServeTest, EngineSlotLifecycleIsolatesTenants)
+{
+    // Engine-level check of the primitive the server relies on:
+    // resetSlot must leave a slot indistinguishable from a fresh
+    // beginBatch slot.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(83);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(3, config.inputSize, 139);
+
+    memo::MemoOptions memo_options;
+    memo_options.predictor = memo::PredictorKind::Bnn;
+    memo_options.theta = 0.2;
+
+    memo::BatchMemoEngine fresh(network, &bnn, memo_options);
+    const auto reference = network.forwardBatch(sequences, fresh);
+
+    memo::BatchMemoEngine recycled(network, &bnn, memo_options);
+    // Pollute the table with a first pass, then recycle every slot the
+    // way the server does on admission.
+    network.forwardBatch(sequences, recycled);
+    EXPECT_EQ(recycled.slotCount(), sequences.size());
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+        recycled.admitSlot(s, 0.4);
+        EXPECT_DOUBLE_EQ(recycled.slotTheta(s), 0.4);
+        EXPECT_EQ(recycled.slotReuseFraction(s), 0.0);
+        recycled.setSlotTheta(s, memo_options.theta);
+        EXPECT_DOUBLE_EQ(recycled.slotTheta(s), memo_options.theta);
+    }
+
+    // forwardBatch re-begins the batch; instead drive the recycled
+    // engine through the layer API exactly once per sequence by reusing
+    // forwardBatch on a fresh copy — outputs must match the fresh
+    // engine's (cold) outputs bit for bit if and only if no state
+    // survived the recycle. The engine's own beginBatch is bypassed by
+    // evaluating through a stepper.
+    nn::NetworkStepper stepper(network, sequences.size());
+    std::vector<nn::Sequence> outputs(sequences.size());
+    std::size_t max_steps = 0;
+    for (const auto &sequence : sequences)
+        max_steps = std::max(max_steps, sequence.size());
+    for (std::size_t s = 0; s < sequences.size(); ++s)
+        stepper.resetSlot(s);
+    std::vector<std::size_t> rows;
+    for (std::size_t t = 0; t < max_steps; ++t) {
+        rows.clear();
+        for (std::size_t s = 0; s < sequences.size(); ++s)
+            if (t < sequences[s].size()) {
+                rows.push_back(s);
+                const auto &frame = sequences[s][t];
+                std::copy(frame.begin(), frame.end(),
+                          stepper.inputPanel().row(s).begin());
+            }
+        stepper.step(rows, recycled);
+        for (const std::size_t s : rows) {
+            const auto out = stepper.output(s);
+            outputs[s].emplace_back(out.begin(), out.end());
+        }
+    }
+    for (std::size_t s = 0; s < sequences.size(); ++s)
+        expectSequenceIdentical(reference[s], outputs[s],
+                                "recycled slot " + std::to_string(s));
+}
+
+} // namespace
+} // namespace nlfm

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Check relative markdown links in README.md, ROADMAP.md, and docs/.
+#
+# Stale docs rot from broken pointers first, so CI fails on any inline
+# markdown link whose target does not exist in the repo. Scope:
+# relative links only — no network, external URLs (http/https/mailto)
+# and pure in-page anchors (#...) are skipped. Anchor fragments on
+# relative links are stripped before the existence check (we verify the
+# file, not the heading).
+#
+# Usage: tools/check_links.sh  (from the repo root; CI runs it there)
+
+set -u
+
+files="README.md ROADMAP.md"
+for f in docs/*.md; do
+    [ -e "$f" ] && files="$files $f"
+done
+
+# Everything inside the substitution runs in one subshell; BROKEN lines
+# are its output, so no state needs to escape the while-loop subshells.
+broken=$(
+    for file in $files; do
+        [ -e "$file" ] || continue
+        dir=$(dirname "$file")
+        # Inline links: ](target) — one per line via grep -o, then
+        # strip the markers. Reference-style links are not used here.
+        grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//' |
+        while IFS= read -r target; do
+            case "$target" in
+                http://*|https://*|mailto:*|\#*|'') continue ;;
+            esac
+            # Strip an anchor fragment, if any.
+            path=${target%%#*}
+            [ -n "$path" ] || continue
+            # Resolve relative to the linking file's directory.
+            case "$path" in
+                /*) resolved=".$path" ;;
+                *)  resolved="$dir/$path" ;;
+            esac
+            [ -e "$resolved" ] ||
+                echo "BROKEN: $file -> $target (resolved: $resolved)"
+        done
+    done
+)
+
+if [ -n "$broken" ]; then
+    echo "$broken"
+    echo "link check FAILED"
+    exit 1
+fi
+echo "link check OK ($(echo "$files" | wc -w) files)"
+exit 0
