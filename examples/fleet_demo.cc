@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal end-to-end use of the multi-model fleet host.
+ *
+ * Registers two resident zoo models — the IMDB sentiment LSTM and the
+ * DeepSpeech2 GRU — in one ModelRegistry, starts a FleetServer with a
+ * single 4-slot pool shared by both, submits interleaved requests from
+ * two client threads (one per model), and prints each response plus
+ * the per-model/aggregate fleet report. The runnable companion of
+ * docs/SERVING.md's "Multi-model fleets" section.
+ */
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serve/fleet_server.hh"
+#include "workloads/model_zoo.hh"
+
+int
+main()
+{
+    using namespace nlfm;
+
+    // Two resident models, built once, served for the process
+    // lifetime. DeepSpeech2 is ~40x the compute of IMDB per step —
+    // exactly the asymmetry the shared pool has to referee.
+    const auto imdb = workloads::buildWorkload(
+        workloads::specByName("IMDB"), /*steps=*/12, /*sequences=*/6);
+    const auto ds2 = workloads::buildWorkload(
+        workloads::specByName("DeepSpeech2"), /*steps=*/8,
+        /*sequences=*/6);
+    std::printf("fleet_demo: IMDB (%s) + DeepSpeech2 (%s)\n",
+                imdb->spec.rnn.describe().c_str(),
+                ds2->spec.rnn.describe().c_str());
+
+    serve::ModelRegistry registry;
+    serve::ModelSpec imdb_spec;
+    imdb_spec.name = "imdb";
+    imdb_spec.network = imdb->network.get();
+    imdb_spec.bnn = imdb->bnn.get();
+    imdb_spec.memo.theta = 0.05;
+    serve::ModelSpec ds2_spec;
+    ds2_spec.name = "ds2";
+    ds2_spec.network = ds2->network.get();
+    ds2_spec.bnn = ds2->bnn.get();
+    ds2_spec.memo.theta = 0.10;
+    ds2_spec.weight = 2.0; // the heavy model gets 2x admission share
+    registry.add(imdb_spec);
+    registry.add(ds2_spec);
+
+    serve::FleetOptions options;
+    options.slots = 4; // ONE pool shared by both models
+    serve::FleetServer fleet(registry, options);
+
+    // One client thread per model; enqueue() + futures are the whole
+    // client API, routed by model name.
+    const auto client =
+        [&fleet](const char *model, const workloads::Workload *workload,
+                 std::vector<std::future<serve::Response>> &futures) {
+            for (const auto &input : workload->testInputs) {
+                serve::Request request;
+                request.input = input;
+                request.deadlineMs = 10000.0;
+                futures.push_back(
+                    fleet.enqueue(model, std::move(request)));
+            }
+        };
+    std::vector<std::future<serve::Response>> imdb_futures;
+    std::vector<std::future<serve::Response>> ds2_futures;
+    std::thread imdb_client(client, "imdb", imdb.get(),
+                            std::ref(imdb_futures));
+    std::thread ds2_client(client, "ds2", ds2.get(),
+                           std::ref(ds2_futures));
+    imdb_client.join();
+    ds2_client.join();
+
+    const auto show = [](const char *label, serve::Response response) {
+        std::printf("  %s request %llu: %zu steps, theta %.2f, "
+                    "reuse %5.1f%%, queue %6.2f ms, service %6.2f ms, "
+                    "latency %6.2f ms%s\n",
+                    label,
+                    static_cast<unsigned long long>(response.id),
+                    response.steps, response.theta,
+                    100.0 * response.reuseFraction, response.queueMs,
+                    response.serviceMs, response.latencyMs,
+                    response.deadlineMet ? "" : "  (deadline missed)");
+    };
+    for (auto &future : imdb_futures)
+        show("imdb", serve::FleetServer::collect(future));
+    for (auto &future : ds2_futures)
+        show("ds2 ", serve::FleetServer::collect(future));
+
+    std::printf("\n%s\n",
+                fleet.fleetStats()
+                    .report("fleet_demo per-model + aggregate")
+                    .c_str());
+    return 0;
+}

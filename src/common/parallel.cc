@@ -86,6 +86,23 @@ ThreadPool::run(std::size_t count,
     }
     nlfm_assert(begin == count, "chunking lost iterations");
 
+    // One Job slot per pool: a nested or concurrent multi-chunk run
+    // would overwrite the job the workers are draining (PR 3 hit this
+    // as silent corruption; now it is loud). Single-chunk calls above
+    // never touch the job slot and are deliberately exempt.
+    nlfm_assert(!inRun_.exchange(true, std::memory_order_acquire),
+                "ThreadPool::run is not reentrant: a multi-chunk job is "
+                "already in flight on this pool (nested run from a "
+                "worker body, or concurrent run from another thread). "
+                "Use a separate/private pool instead.");
+    // Cleared via RAII so a throwing body cannot leave the flag set
+    // and poison every later run() with a false 'not reentrant' abort.
+    struct RunGuard
+    {
+        std::atomic<bool> &flag;
+        ~RunGuard() { flag.store(false, std::memory_order_release); }
+    } run_guard{inRun_};
+
     // Chunk 0 runs on the calling thread.
     const auto first = ranges.front();
     {

@@ -13,6 +13,7 @@
 #ifndef NLFM_COMMON_PARALLEL_HH
 #define NLFM_COMMON_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -42,6 +43,17 @@ class ThreadPool
      * Execute body(begin, end) over [0, count) split into one contiguous
      * chunk per thread; blocks until all chunks complete. The calling
      * thread runs chunk 0.
+     *
+     * NOT REENTRANT: there is one Job slot per pool, so a second
+     * multi-chunk run — nested inside @p body, or issued concurrently
+     * from another thread — would overwrite the job the workers are
+     * still draining. This is asserted (loudly, in every build type)
+     * instead of left undefined; callers that need parallelism inside a
+     * parallel region must use a separate pool, which is exactly why
+     * serve::Server/FleetServer keep a private pool instead of sharing
+     * ThreadPool::global(). Single-chunk fallbacks (count or pool of 1,
+     * the common case of nested parallelFor on a small host) run the
+     * body inline and are exempt: they never touch the job slot.
      */
     void run(std::size_t count,
              const std::function<void(std::size_t, std::size_t)> &body);
@@ -68,6 +80,9 @@ class ThreadPool
     Job job_;
     std::uint64_t epoch_ = 0;
     bool stopping_ = false;
+    /// True while a multi-chunk job is in flight; guards run() against
+    /// nested/concurrent invocation (see run()'s doc).
+    std::atomic<bool> inRun_{false};
 };
 
 /**

@@ -1,0 +1,135 @@
+#include "serve/fleet_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+FleetScheduler::FleetScheduler(std::size_t slots,
+                               std::span<const double> weights)
+    : slots_(slots), activeRows_(weights.size()),
+      weights_(weights.begin(), weights.end()),
+      deficit_(weights.size(), 0.0)
+{
+    nlfm_assert(slots > 0, "empty slot pool");
+    nlfm_assert(!weights.empty(), "fleet with zero models");
+    for (const double w : weights_)
+        nlfm_assert(w > 0.0, "non-positive admission weight");
+    freeSlots_.reserve(slots);
+    for (std::size_t s = slots; s-- > 0;)
+        freeSlots_.push_back(s);
+    for (auto &rows : activeRows_)
+        rows.reserve(slots);
+}
+
+int
+FleetScheduler::pickModel(std::span<const std::size_t> pending)
+{
+    nlfm_assert(pending.size() == weights_.size(),
+                "pending counts do not match the model count");
+    // Idle models drop their credit (no hoarding across idle spells)
+    // and cannot be picked; bail early when everyone is idle.
+    bool any = false;
+    for (std::size_t m = 0; m < pending.size(); ++m) {
+        if (pending[m] > 0)
+            any = true;
+        else
+            deficit_[m] = 0.0;
+    }
+    if (!any)
+        return -1;
+
+    // DRR: grant the cursor model its weight once per visit, admit
+    // while credit lasts, move on when it runs out. Each full round
+    // adds weight to every backlogged model, so the loop terminates
+    // within ceil(1/min(weight)) rounds.
+    while (true) {
+        const std::size_t m = cursor_;
+        if (pending[m] == 0) {
+            cursor_ = (cursor_ + 1) % weights_.size();
+            charged_ = false;
+            continue;
+        }
+        if (!charged_) {
+            deficit_[m] += weights_[m];
+            charged_ = true;
+        }
+        if (deficit_[m] >= 1.0) {
+            deficit_[m] -= 1.0;
+            return static_cast<int>(m); // cursor stays: credit remains
+        }
+        cursor_ = (cursor_ + 1) % weights_.size();
+        charged_ = false;
+    }
+}
+
+std::size_t
+FleetScheduler::admit(std::size_t model, QueuedRequest &&item)
+{
+    nlfm_assert(hasFree(), "admit without a free slot");
+    nlfm_assert(model < activeRows_.size(), "model id out of range");
+    const std::size_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+
+    SlotState &state = slots_[slot];
+    state.active = true;
+    state.model = model;
+    state.id = item.id;
+    state.request = std::move(item.request);
+    state.promise = std::move(item.promise);
+    state.step = 0;
+    state.output.clear();
+    state.output.reserve(state.request.input.size());
+    state.enqueueTime = item.enqueueTime;
+    state.admitTime = Clock::now();
+
+    auto &rows = activeRows_[model];
+    rows.insert(std::lower_bound(rows.begin(), rows.end(), slot), slot);
+    ++activeCount_;
+    return slot;
+}
+
+void
+FleetScheduler::release(std::size_t slot)
+{
+    nlfm_assert(slot < slots_.size() && slots_[slot].active,
+                "release of an inactive slot");
+    SlotState &state = slots_[slot];
+    state.active = false;
+    state.request = Request{};
+    state.output.clear();
+
+    auto &rows = activeRows_[state.model];
+    rows.erase(std::lower_bound(rows.begin(), rows.end(), slot));
+    --activeCount_;
+    // Keep the free list sorted descending (lowest slot at the back).
+    freeSlots_.insert(std::lower_bound(freeSlots_.begin(),
+                                       freeSlots_.end(), slot,
+                                       std::greater<std::size_t>()),
+                      slot);
+}
+
+std::span<const std::size_t>
+FleetScheduler::activeRows(std::size_t model) const
+{
+    nlfm_assert(model < activeRows_.size(), "model id out of range");
+    return activeRows_[model];
+}
+
+SlotState &
+FleetScheduler::slot(std::size_t index)
+{
+    nlfm_assert(index < slots_.size(), "slot index out of range");
+    return slots_[index];
+}
+
+const SlotState &
+FleetScheduler::slot(std::size_t index) const
+{
+    nlfm_assert(index < slots_.size(), "slot index out of range");
+    return slots_[index];
+}
+
+} // namespace nlfm::serve

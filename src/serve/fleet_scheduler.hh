@@ -1,0 +1,95 @@
+/// @file
+/// Shared-slot-pool scheduler of the multi-model fleet driver.
+///
+/// Where the single-model Scheduler maps one queue onto one slot pool,
+/// the FleetScheduler partitions ONE pool of slots across N resident
+/// models dynamically: any slot can host any model's request, a slot
+/// returns to the shared pool the moment its sequence completes, and the
+/// next admission may hand it to a different model. There is no static
+/// per-model partition — a model with an empty queue consumes zero
+/// slots, and a backlogged model can absorb the whole pool when its
+/// peers are idle.
+///
+/// Admission fairness is deficit round robin (DRR) over the models with
+/// pending requests: each visit grants a model its weight as credit, one
+/// admission costs one credit, and the cursor stays on a model while its
+/// credit lasts. Consequences, pinned by tests/fleet_test.cc:
+///
+///  - with every model backlogged, admissions are granted in proportion
+///    to the registered weights (weight 2 admits twice as often as
+///    weight 1);
+///  - no backlogged model starves: every full cursor round adds weight
+///    to its credit, so it admits within ceil(1/weight) rounds;
+///  - an idle model's credit resets, so bursty traffic cannot hoard
+///    admissions it did not contend for.
+///
+/// Like the single-model Scheduler, admission picks the lowest-numbered
+/// free slot and all choices are deterministic given the sequence of
+/// (pickModel, admit, release) calls. Not thread-safe: driven only by
+/// the fleet server's driver loop.
+
+#ifndef NLFM_SERVE_FLEET_SCHEDULER_HH
+#define NLFM_SERVE_FLEET_SCHEDULER_HH
+
+#include <span>
+#include <vector>
+
+#include "serve/scheduler.hh"
+
+namespace nlfm::serve
+{
+
+/// Slot pool shared by N models, with weighted-fair admission.
+class FleetScheduler
+{
+  public:
+    /// @param slots   shared pool width (> 0)
+    /// @param weights per-model admission weights (all > 0); size is
+    ///                the model count
+    FleetScheduler(std::size_t slots, std::span<const double> weights);
+
+    std::size_t slotCount() const { return slots_.size(); }
+    std::size_t modelCount() const { return weights_.size(); }
+    std::size_t activeCount() const { return activeCount_; }
+    bool hasFree() const { return !freeSlots_.empty(); }
+
+    /// Pick the model whose queue should admit next, given per-model
+    /// pending-request counts (index = model id). Returns -1 when every
+    /// queue is empty. Each successful pick spends one admission credit;
+    /// callers must follow it with admit() for that model.
+    int pickModel(std::span<const std::size_t> pending);
+
+    /// Admit one request for @p model into the lowest-numbered free
+    /// slot. Requires hasFree(). Returns the slot index.
+    std::size_t admit(std::size_t model, QueuedRequest &&item);
+
+    /// Release a completed slot back to the shared pool.
+    void release(std::size_t slot);
+
+    /// Active slot indices of one model, ascending — that model's panel
+    /// row set for the next tick. Valid until the next admit/release.
+    std::span<const std::size_t> activeRows(std::size_t model) const;
+
+    SlotState &slot(std::size_t index);
+    const SlotState &slot(std::size_t index) const;
+
+  private:
+    std::vector<SlotState> slots_;
+    /// Free slot indices, sorted descending (lowest pops from the back).
+    std::vector<std::size_t> freeSlots_;
+    /// Per-model active slot indices, each ascending.
+    std::vector<std::vector<std::size_t>> activeRows_;
+    std::size_t activeCount_ = 0;
+
+    // DRR state.
+    std::vector<double> weights_;
+    std::vector<double> deficit_;
+    std::size_t cursor_ = 0;
+    /// Whether the model under the cursor already received its quantum
+    /// this visit (credit is granted once per visit, not per pick).
+    bool charged_ = false;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_FLEET_SCHEDULER_HH

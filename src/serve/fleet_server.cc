@@ -1,0 +1,405 @@
+#include "serve/fleet_server.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+namespace
+{
+
+double
+millis(Clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+std::vector<double>
+registryWeights(const ModelRegistry &registry)
+{
+    std::vector<double> weights;
+    weights.reserve(registry.size());
+    for (std::size_t m = 0; m < registry.size(); ++m)
+        weights.push_back(registry.spec(m).weight);
+    return weights;
+}
+
+} // namespace
+
+FleetServer::FleetServer(const ModelRegistry &registry,
+                         const FleetOptions &options)
+    : options_(options),
+      scheduler_(options.slots, registryWeights(registry)),
+      modelStats_(registry.size())
+{
+    nlfm_assert(!registry.empty(), "fleet with zero models");
+    models_.reserve(registry.size());
+    for (std::size_t m = 0; m < registry.size(); ++m) {
+        ModelRuntime rt;
+        rt.spec = registry.spec(m);
+        rt.stepper = std::make_unique<nn::NetworkStepper>(
+            *rt.spec.network, options_.slots);
+        if (rt.spec.memoized) {
+            rt.engine = std::make_unique<memo::BatchMemoEngine>(
+                *rt.spec.network, rt.spec.bnn, rt.spec.memo);
+            // Size the slot-keyed table to the full shared pool once:
+            // any slot may be handed to this model, and admission
+            // recycles slots individually from here on.
+            rt.engine->beginBatch(options_.slots);
+            rt.evaluator = rt.engine.get();
+        } else {
+            rt.exact = std::make_unique<nn::DirectBatchEvaluator>();
+            rt.exact->beginBatch(options_.slots);
+            rt.evaluator = rt.exact.get();
+        }
+        rt.queue =
+            std::make_unique<RequestQueue>(options_.queueCapacity);
+        models_.push_back(std::move(rt));
+    }
+    if (options_.workers > 1)
+        pool_ = std::make_unique<ThreadPool>(options_.workers);
+    // Same effective-chunk-size rule as the single-model Server: cap so
+    // the requested workers can split the pool at small widths.
+    chunkSize_ = std::max<std::size_t>(1, options_.chunkSize);
+    if (options_.workers > 1)
+        chunkSize_ = std::min(
+            chunkSize_, std::max<std::size_t>(
+                            1, (options_.slots + options_.workers - 1) /
+                                   options_.workers));
+    stats_.start();
+    for (auto &stats : modelStats_)
+        stats.start();
+    driver_ = std::thread([this] { driverLoop(); });
+}
+
+FleetServer::~FleetServer()
+{
+    stop();
+}
+
+const ModelSpec &
+FleetServer::spec(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return models_[model].spec;
+}
+
+std::future<Response>
+FleetServer::enqueue(std::size_t model, Request request)
+{
+    QueuedRequest item;
+    item.id = nextId_.fetch_add(1);
+    item.request = std::move(request);
+    item.enqueueTime = Clock::now();
+    std::future<Response> future = item.promise.get_future();
+
+    // Client errors fail the client's own future on the client's
+    // thread; they never reach the driver.
+    if (model >= models_.size()) {
+        item.promise.set_exception(std::make_exception_ptr(
+            std::invalid_argument("serve::FleetServer: model id " +
+                                  std::to_string(model) +
+                                  " out of range (fleet has " +
+                                  std::to_string(models_.size()) +
+                                  " models)")));
+        return future;
+    }
+    const std::size_t input_size =
+        models_[model].stepper->network().config().inputSize;
+    for (const auto &frame : item.request.input) {
+        if (frame.size() != input_size) {
+            item.promise.set_exception(std::make_exception_ptr(
+                std::invalid_argument(
+                    "serve::FleetServer: request frame width " +
+                    std::to_string(frame.size()) + " != model \"" +
+                    models_[model].spec.name + "\" input " +
+                    std::to_string(input_size))));
+            return future;
+        }
+    }
+
+    enqueued_.fetch_add(1);
+    if (!models_[model].queue->push(std::move(item))) {
+        // Queue closed by stop(): fail the request explicitly. (push
+        // only consumes the item on success.)
+        item.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("serve::FleetServer stopped")));
+        finishOne();
+        return future;
+    }
+    wakeCv_.notify_all();
+    return future;
+}
+
+std::future<Response>
+FleetServer::enqueue(const std::string &model, Request request)
+{
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        if (models_[m].spec.name == model)
+            return enqueue(m, std::move(request));
+    QueuedRequest item;
+    item.request = std::move(request);
+    std::future<Response> future = item.promise.get_future();
+    item.promise.set_exception(std::make_exception_ptr(
+        std::invalid_argument("serve::FleetServer: unknown model \"" +
+                              model + "\"")));
+    return future;
+}
+
+Response
+FleetServer::collect(std::future<Response> &future)
+{
+    return future.get();
+}
+
+Response
+FleetServer::collect(std::future<Response> &&future)
+{
+    return future.get();
+}
+
+void
+FleetServer::drain()
+{
+    std::unique_lock<std::mutex> lock(drainMutex_);
+    drainCv_.wait(lock,
+                  [&] { return finished_.load() >= enqueued_.load(); });
+}
+
+void
+FleetServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    for (auto &rt : models_)
+        rt.queue->close();
+    wakeCv_.notify_all();
+    if (driver_.joinable())
+        driver_.join();
+}
+
+StatsSnapshot
+FleetServer::modelStats(std::size_t model) const
+{
+    nlfm_assert(model < modelStats_.size(), "model id out of range");
+    return modelStats_[model].snapshot();
+}
+
+FleetStatsSnapshot
+FleetServer::fleetStats() const
+{
+    FleetStatsSnapshot snap;
+    snap.aggregate = stats_.snapshot();
+    snap.names.reserve(models_.size());
+    snap.perModel.reserve(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        snap.names.push_back(models_[m].spec.name);
+        snap.perModel.push_back(modelStats_[m].snapshot());
+    }
+    return snap;
+}
+
+void
+FleetServer::resetStats()
+{
+    stats_.reset();
+    for (auto &stats : modelStats_)
+        stats.reset();
+}
+
+std::size_t
+FleetServer::queueDepth(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return models_[model].queue->size();
+}
+
+void
+FleetServer::finishOne()
+{
+    finished_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+    }
+    drainCv_.notify_all();
+}
+
+void
+FleetServer::driverLoop()
+{
+    while (true) {
+        admitPending();
+        if (scheduler_.activeCount() == 0) {
+            bool all_drained = true;
+            for (auto &rt : models_)
+                if (!rt.queue->closed() || rt.queue->size() != 0)
+                    all_drained = false;
+            if (all_drained)
+                break;
+            // Idle: no queue to block on exclusively, so park on the
+            // wake CV until an enqueue/stop (or a short timeout, which
+            // keeps shutdown races harmless).
+            std::unique_lock<std::mutex> lock(wakeMutex_);
+            wakeCv_.wait_for(lock, std::chrono::milliseconds(2));
+            continue;
+        }
+        tick();
+    }
+}
+
+void
+FleetServer::admitPending()
+{
+    // Snapshot queue depths once (one lock per queue); each admission
+    // below decrements its model's count locally. Arrivals racing this
+    // pass are picked up by the next driver-loop iteration.
+    pendingDepths_.resize(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        pendingDepths_[m] = models_[m].queue->size();
+    while (scheduler_.hasFree()) {
+        const int pick = scheduler_.pickModel(pendingDepths_);
+        if (pick < 0)
+            break;
+        ModelRuntime &rt = models_[static_cast<std::size_t>(pick)];
+        auto item = rt.queue->tryPop();
+        --pendingDepths_[static_cast<std::size_t>(pick)];
+        if (!item)
+            continue; // only the driver pops; defensive
+        // Admission-time load shedding: a request whose deadline
+        // already passed can only produce zero-goodput work — fail it
+        // now instead of burning a slot. (It still spent one admission
+        // credit, so shedding cannot be used to jump the fair queue.)
+        if (options_.shedExpired && item->request.deadlineMs > 0.0 &&
+            millis(Clock::now() - item->enqueueTime) >
+                item->request.deadlineMs) {
+            modelStats_[static_cast<std::size_t>(pick)].recordShed();
+            stats_.recordShed();
+            item->promise.set_exception(std::make_exception_ptr(
+                ShedError("serve::FleetServer: deadline expired before "
+                          "admission (shed)")));
+            finishOne();
+            continue;
+        }
+        // Frame widths were validated in enqueue().
+        const double theta = item->request.theta;
+        const std::size_t slot = scheduler_.admit(
+            static_cast<std::size_t>(pick), std::move(*item));
+        rt.stepper->resetSlot(slot);
+        if (rt.engine)
+            rt.engine->admitSlot(slot, theta);
+        // Zero-length sequences complete in place, never hold a row.
+        if (scheduler_.slot(slot).request.input.empty())
+            completeSlot(slot);
+    }
+}
+
+void
+FleetServer::tick()
+{
+    // Stage each model's active input frames into its own panel.
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        const auto rows = scheduler_.activeRows(m);
+        if (rows.empty())
+            continue;
+        tensor::Matrix &input = models_[m].stepper->inputPanel();
+        for (const std::size_t slot : rows) {
+            const SlotState &state = scheduler_.slot(slot);
+            const auto &frame = state.request.input[state.step];
+            std::copy(frame.begin(), frame.end(),
+                      input.row(slot).begin());
+        }
+    }
+
+    // Flatten every model's slot-range chunks into one task list and
+    // step them on the single shared pool. Chunk boundaries follow the
+    // same rule as the single-model Server (slot / chunkSize groups per
+    // model), so panel composition per chunk is independent of worker
+    // count — and of which other models share the fleet.
+    const std::size_t chunk_size = chunkSize_;
+    auto &tasks = tickTasks_;
+    tasks.clear();
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        const auto rows = scheduler_.activeRows(m);
+        if (rows.empty())
+            continue;
+        std::size_t begin = 0;
+        for (std::size_t i = 1; i <= rows.size(); ++i) {
+            if (i == rows.size() ||
+                rows[i] / chunk_size != rows[begin] / chunk_size) {
+                tasks.push_back({m, begin, i});
+                begin = i;
+            }
+        }
+    }
+
+    const auto run_task = [&](std::size_t c) {
+        const TickTask &task = tasks[c];
+        ModelRuntime &rt = models_[task.model];
+        rt.stepper->step(scheduler_.activeRows(task.model)
+                             .subspan(task.begin, task.end - task.begin),
+                         *rt.evaluator);
+    };
+    if (pool_ != nullptr && tasks.size() > 1) {
+        pool_->run(tasks.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t c = lo; c < hi; ++c)
+                run_task(c);
+        });
+    } else {
+        for (std::size_t c = 0; c < tasks.size(); ++c)
+            run_task(c);
+    }
+
+    // Collect outputs; completions release slots, which invalidates the
+    // active-row spans, so gather finished slots first.
+    auto &done = tickDone_;
+    done.clear();
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        for (const std::size_t slot : scheduler_.activeRows(m)) {
+            SlotState &state = scheduler_.slot(slot);
+            const auto out = models_[m].stepper->output(slot);
+            state.output.emplace_back(out.begin(), out.end());
+            if (++state.step == state.request.input.size())
+                done.push_back(slot);
+        }
+    }
+    for (const std::size_t slot : done)
+        completeSlot(slot);
+}
+
+void
+FleetServer::completeSlot(std::size_t slot)
+{
+    SlotState &state = scheduler_.slot(slot);
+    const std::size_t model = state.model;
+    ModelRuntime &rt = models_[model];
+    const Clock::time_point now = Clock::now();
+
+    Response response;
+    response.id = state.id;
+    response.steps = state.request.input.size();
+    response.theta = rt.engine ? rt.engine->slotTheta(slot) : 0.0;
+    response.reuseFraction =
+        rt.engine ? rt.engine->slotReuseFraction(slot) : 0.0;
+    response.queueMs = millis(state.admitTime - state.enqueueTime);
+    response.serviceMs = millis(now - state.admitTime);
+    response.latencyMs = millis(now - state.enqueueTime);
+    response.deadlineMet = state.request.deadlineMs <= 0.0 ||
+                           response.latencyMs <= state.request.deadlineMs;
+    response.output = std::move(state.output);
+
+    stats_.record(response);
+    modelStats_[model].record(response);
+    state.promise.set_value(std::move(response));
+    // Restore this model's default theta while the slot sits free, so a
+    // stale override does not pin the engine's scalar decision path
+    // (admission re-resets it anyway).
+    if (rt.engine)
+        rt.engine->setSlotTheta(slot, rt.engine->theta());
+    scheduler_.release(slot);
+    finishOne();
+}
+
+} // namespace nlfm::serve

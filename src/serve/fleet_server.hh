@@ -1,0 +1,194 @@
+/// @file
+/// Multi-model fleet host: several resident models, one slot pool.
+///
+/// A FleetServer generalizes the single-model Server to N resident
+/// models (or theta-tuned variants of one network) sharing one slot
+/// budget and one thread budget. Each registered model keeps its own
+/// NetworkStepper panels and slot-keyed memo engine — numerical state
+/// never crosses models — but the SLOTS are a single shared pool: a
+/// slot freed by one model's completed sequence is reclaimed into the
+/// pool and may be handed to any model on the next admission, cold.
+///
+/// Requests are routed by model id (or name) into per-model bounded
+/// queues; the FleetScheduler admits across those queues with weighted
+/// deficit-round-robin fairness, so a flood at one model cannot starve
+/// its neighbors (docs/SERVING.md, "Multi-model fleets"). One driver
+/// thread ticks EVERY model's active panel per step: the per-model
+/// panel chunks of a tick are flattened into one task list and spread
+/// over the single optional ThreadPool, so the thread budget is shared
+/// exactly like the slot budget.
+///
+/// Determinism: each request's output is bitwise identical to the same
+/// request served by a single-model serve::Server (and therefore to
+/// RnnNetwork::forward at the same theta) — per-model state is slot-
+/// keyed and per-row results never depend on panel composition, so
+/// which models share the fleet, which slot a request lands in, and
+/// the worker count all cancel out. Pinned by tests/fleet_test.cc.
+///
+/// Accounting is per model and aggregate: ServingStats per registered
+/// model plus a fleet-wide accumulator, all exposed in one
+/// FleetStatsSnapshot (per-model latency percentiles, throughput,
+/// goodput, reuse, shed counts).
+
+#ifndef NLFM_SERVE_FLEET_SERVER_HH
+#define NLFM_SERVE_FLEET_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/parallel.hh"
+#include "memo/memo_batch.hh"
+#include "nn/network_stepper.hh"
+#include "serve/fleet_scheduler.hh"
+#include "serve/model_registry.hh"
+#include "serve/stats.hh"
+
+namespace nlfm::serve
+{
+
+/// Fleet-wide configuration (per-model policy lives in ModelSpec).
+struct FleetOptions
+{
+    /// Shared slot-pool width: sequences evaluated concurrently per
+    /// tick across ALL models. Slots are not partitioned statically —
+    /// an idle model consumes none.
+    std::size_t slots = 8;
+
+    /// Per-model request-queue capacity; enqueue() blocks (per-model
+    /// backpressure) when that model's queue is full.
+    std::size_t queueCapacity = 64;
+
+    /// Stepping threads per tick, including the driver; the single
+    /// private pool is shared by every model's panel chunks.
+    std::size_t workers = 1;
+
+    /// Upper bound on slots per worker chunk within a tick, per model
+    /// (same contract and default as ServerOptions::chunkSize).
+    std::size_t chunkSize = 64;
+
+    /// Admission-time load shedding: reject (fail with ShedError)
+    /// requests whose deadline has already expired when they would be
+    /// admitted, instead of burning a slot on guaranteed-zero-goodput
+    /// work. Sheds are counted per model and aggregate.
+    bool shedExpired = false;
+};
+
+/// Continuous-batching server for a fleet of resident models.
+class FleetServer
+{
+  public:
+    /// @param registry model catalog; the registry is copied, but the
+    ///                 networks/mirrors it references must outlive the
+    ///                 server. Must be non-empty.
+    FleetServer(const ModelRegistry &registry,
+                const FleetOptions &options);
+
+    /// Stops and joins the driver (drains already-queued requests).
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    const FleetOptions &options() const { return options_; }
+    std::size_t modelCount() const { return models_.size(); }
+    const ModelSpec &spec(std::size_t model) const;
+
+    /// Submit one request to @p model. Blocks while that model's queue
+    /// is full. The future resolves on completion; after stop() it
+    /// carries std::runtime_error, and under shedExpired it may carry
+    /// ShedError.
+    std::future<Response> enqueue(std::size_t model, Request request);
+
+    /// Name-routed convenience overload (registry lookup); an unknown
+    /// name fails the future with std::invalid_argument.
+    std::future<Response> enqueue(const std::string &model,
+                                  Request request);
+
+    /// Block on one future and return its Response.
+    static Response collect(std::future<Response> &future);
+    static Response collect(std::future<Response> &&future);
+
+    /// Block until every request enqueued so far has completed (or was
+    /// shed/rejected).
+    void drain();
+
+    /// Close every queue, drain, and stop the driver. Idempotent.
+    void stop();
+
+    /// Aggregate accounting across all models since construction (or
+    /// the last resetStats).
+    StatsSnapshot stats() const { return stats_.snapshot(); }
+
+    /// One model's accounting.
+    StatsSnapshot modelStats(std::size_t model) const;
+
+    /// Per-model breakdown plus the aggregate, in one snapshot.
+    FleetStatsSnapshot fleetStats() const;
+
+    /// Open a fresh measurement window on every accumulator.
+    void resetStats();
+
+    /// Requests currently queued (not yet admitted) at one model.
+    std::size_t queueDepth(std::size_t model) const;
+
+  private:
+    /// Per-model runtime: the stepper/engine pair sized to the shared
+    /// pool, the model's queue, and its spec.
+    struct ModelRuntime
+    {
+        ModelSpec spec;
+        std::unique_ptr<nn::NetworkStepper> stepper;
+        std::unique_ptr<memo::BatchMemoEngine> engine; ///< memoized
+        std::unique_ptr<nn::DirectBatchEvaluator> exact; ///< or exact
+        nn::BatchGateEvaluator *evaluator = nullptr;
+        std::unique_ptr<RequestQueue> queue;
+    };
+
+    /// One stepping task of a tick: a chunk of one model's active rows.
+    struct TickTask
+    {
+        std::size_t model = 0;
+        std::size_t begin = 0; ///< index into activeRows(model)
+        std::size_t end = 0;
+    };
+
+    void driverLoop();
+    void admitPending();
+    void tick();
+    void completeSlot(std::size_t slot);
+    void finishOne();
+
+    FleetOptions options_;
+    std::vector<ModelRuntime> models_;
+    FleetScheduler scheduler_;
+
+    std::unique_ptr<ThreadPool> pool_; ///< null when workers == 1
+    std::size_t chunkSize_ = 64;       ///< effective per-tick chunk size
+
+    ServingStats stats_;                     ///< aggregate
+    std::vector<ServingStats> modelStats_;   ///< per model
+
+    std::atomic<std::uint64_t> nextId_{0};
+    std::atomic<std::uint64_t> enqueued_{0};
+    std::atomic<std::uint64_t> finished_{0};
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+
+    /// Wakes the idle driver on enqueue/stop (the driver cannot block
+    /// on N queues at once, so it parks on this instead).
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+
+    // Driver-tick scratch (tickTasks_ is read by pool workers).
+    std::vector<TickTask> tickTasks_;
+    std::vector<std::size_t> tickDone_;
+    std::vector<std::size_t> pendingDepths_;
+
+    std::atomic<bool> stopping_{false};
+    std::thread driver_;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_FLEET_SERVER_HH

@@ -1,0 +1,81 @@
+/// @file
+/// The fleet's model catalog.
+///
+/// A ModelRegistry names the resident models a FleetServer hosts: each
+/// entry binds a full-precision network (plus its binarized mirror when
+/// memoized with the BNN predictor) to the serving policy that applies
+/// to requests routed at it — default memoization options, exact vs
+/// memoized evaluation, and the admission weight of the weighted-fair
+/// scheduler. "Several models" includes theta-tuned variants of one
+/// network: two entries may reference the same RnnNetwork with different
+/// MemoOptions, and each gets its own slot-keyed memo state.
+///
+/// The registry is plain data: it owns no steppers, engines, or threads.
+/// The FleetServer materializes the per-model runtime (NetworkStepper +
+/// BatchMemoEngine sized to the shared slot pool) from the specs at
+/// construction, so a registry can be reused to spin up several fleets.
+
+#ifndef NLFM_SERVE_MODEL_REGISTRY_HH
+#define NLFM_SERVE_MODEL_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "memo/memo_engine.hh"
+#include "nn/binarized.hh"
+
+namespace nlfm::serve
+{
+
+/// One resident model and its serving policy.
+struct ModelSpec
+{
+    /// Routing key; unique within a registry. Empty auto-names the
+    /// entry "model<id>" at add().
+    std::string name;
+
+    /// Unidirectional stack (step-major serving; asserted by the fleet
+    /// server's NetworkStepper). Must outlive every fleet built from
+    /// this registry. Several specs may share one network.
+    nn::RnnNetwork *network = nullptr;
+
+    /// Binarized mirror; required when memoized with the BNN predictor,
+    /// may be null otherwise.
+    nn::BinarizedNetwork *bnn = nullptr;
+
+    /// Default memoization knobs for requests at this model; a
+    /// request's own theta still overrides memo.theta.
+    memo::MemoOptions memo{};
+
+    /// false serves this model exact (DirectBatchEvaluator).
+    bool memoized = true;
+
+    /// Admission weight of the deficit-round-robin scheduler: with
+    /// every model backlogged, admissions are granted proportionally to
+    /// weight. Must be > 0.
+    double weight = 1.0;
+};
+
+/// Ordered catalog of resident models; the index returned by add() is
+/// the model id used for routing (FleetServer::enqueue).
+class ModelRegistry
+{
+  public:
+    /// Validate and append a spec. Returns the model id.
+    std::size_t add(ModelSpec spec);
+
+    std::size_t size() const { return models_.size(); }
+    bool empty() const { return models_.empty(); }
+
+    const ModelSpec &spec(std::size_t model) const;
+
+    /// Model id by name, or -1 when absent.
+    int find(const std::string &name) const;
+
+  private:
+    std::vector<ModelSpec> models_;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_MODEL_REGISTRY_HH

@@ -13,11 +13,23 @@
 
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
 
 #include "nn/rnn_layer.hh"
 
 namespace nlfm::serve
 {
+
+/// Thrown through a request's future when admission-time load shedding
+/// (ServerOptions::shedExpired / FleetOptions::shedExpired) rejects the
+/// request because its deadline had already expired before a slot freed
+/// up. Distinct from std::runtime_error("... stopped") so clients can
+/// tell "retry elsewhere" from "server is gone".
+class ShedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /// Monotonic clock every serving timestamp uses.
 using Clock = std::chrono::steady_clock;

@@ -31,6 +31,7 @@ namespace nlfm::serve
 struct SlotState
 {
     bool active = false;
+    std::size_t model = 0;         ///< owning model (fleet; 0 otherwise)
     std::uint64_t id = 0;          ///< request id
     Request request;               ///< the admitted request
     std::promise<Response> promise;

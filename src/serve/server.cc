@@ -90,13 +90,19 @@ Server::enqueue(Request request)
         // success, so the promise is still ours to fail.)
         item.promise.set_exception(std::make_exception_ptr(
             std::runtime_error("serve::Server stopped")));
-        completed_.fetch_add(1);
-        {
-            std::lock_guard<std::mutex> lock(drainMutex_);
-        }
-        drainCv_.notify_all();
+        finishOne();
     }
     return future;
+}
+
+void
+Server::finishOne()
+{
+    completed_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+    }
+    drainCv_.notify_all();
 }
 
 Response
@@ -152,6 +158,19 @@ Server::admitPending()
         auto item = queue_.tryPop();
         if (!item)
             break;
+        // Admission-time load shedding (opt-in): a request whose
+        // deadline already passed can only produce zero-goodput work —
+        // fail it now instead of burning a slot.
+        if (options_.shedExpired && item->request.deadlineMs > 0.0 &&
+            millis(Clock::now() - item->enqueueTime) >
+                item->request.deadlineMs) {
+            stats_.recordShed();
+            item->promise.set_exception(std::make_exception_ptr(
+                ShedError("serve::Server: deadline expired before "
+                          "admission (shed)")));
+            finishOne();
+            continue;
+        }
         // Frame widths were validated in enqueue().
         const double theta = item->request.theta;
         const std::size_t slot = scheduler_.admit(std::move(*item));
@@ -252,12 +271,7 @@ Server::completeSlot(std::size_t slot)
     if (engine_)
         engine_->setSlotTheta(slot, engine_->theta());
     scheduler_.release(slot);
-
-    completed_.fetch_add(1);
-    {
-        std::lock_guard<std::mutex> lock(drainMutex_);
-    }
-    drainCv_.notify_all();
+    finishOne();
 }
 
 } // namespace nlfm::serve

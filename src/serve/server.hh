@@ -83,6 +83,14 @@ struct ServerOptions
     /// BatchForwardOptions doc). Outputs are identical for every chunk
     /// geometry either way.
     std::size_t chunkSize = 64;
+
+    /// Admission-time load shedding: when a request's deadline has
+    /// already expired by the time a slot frees up for it, fail its
+    /// future with ShedError instead of burning the slot on
+    /// guaranteed-zero-goodput work. Off by default (the PR 3 contract:
+    /// deadlines only feed accounting). Sheds are counted in
+    /// ServingStats.
+    bool shedExpired = false;
 };
 
 /// Continuous-batching inference server.
@@ -136,6 +144,9 @@ class Server
     void admitPending();
     void tick();
     void completeSlot(std::size_t slot);
+    /// Count one request as finished (completed, shed, or rejected)
+    /// and wake drain() waiters.
+    void finishOne();
 
     nn::RnnNetwork &network_;
     ServerOptions options_;

@@ -29,6 +29,7 @@ StatsSnapshot::report(const std::string &title,
     TablePrinter table(title);
     table.setHeader({"metric", "value"});
     table.addRow({"completed", std::to_string(completed)});
+    table.addRow({"shed", std::to_string(shed)});
     table.addRow({"steps", std::to_string(totalSteps)});
     table.addRow({"wall s", formatDouble(wallSeconds)});
     table.addRow({"throughput seq/s", formatDouble(throughput())});
@@ -95,6 +96,18 @@ ServingStats::record(const Response &response)
     }
 }
 
+void
+ServingStats::recordShed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+        started_ = true;
+        startTime_ = Clock::now();
+        lastCompletion_ = startTime_;
+    }
+    ++shed_;
+}
+
 StatsSnapshot
 ServingStats::snapshot() const
 {
@@ -102,6 +115,7 @@ ServingStats::snapshot() const
     StatsSnapshot snap;
     snap.completed = completed_;
     snap.deadlineMet = deadlineMet_;
+    snap.shed = shed_;
     snap.totalSteps = totalSteps_;
     if (started_)
         snap.wallSeconds =
@@ -132,7 +146,38 @@ ServingStats::reset()
     serviceSumMs_ = 0.0;
     reuseSum_ = 0.0;
     deadlineMet_ = 0;
+    shed_ = 0;
     totalSteps_ = 0;
+}
+
+std::string
+FleetStatsSnapshot::report(const std::string &title,
+                           const std::string &csv_tag) const
+{
+    TablePrinter table(title);
+    table.setHeader({"model", "completed", "shed", "throughput/s",
+                     "goodput/s", "p50 ms", "p95 ms", "p99 ms",
+                     "mean queue ms", "reuse"});
+    const auto row = [&](const std::string &name,
+                         const StatsSnapshot &s) {
+        table.addRow({name, std::to_string(s.completed),
+                      std::to_string(s.shed),
+                      formatDouble(s.throughput(), 2),
+                      formatDouble(s.goodput(), 2),
+                      formatDouble(s.p50LatencyMs, 1),
+                      formatDouble(s.p95LatencyMs, 1),
+                      formatDouble(s.p99LatencyMs, 1),
+                      formatDouble(s.meanQueueMs, 1),
+                      formatPercent(s.meanReuse)});
+    };
+    for (std::size_t m = 0; m < perModel.size(); ++m)
+        row(m < names.size() ? names[m] : std::to_string(m),
+            perModel[m]);
+    row("(all)", aggregate);
+    std::string out = table.str();
+    if (!csv_tag.empty())
+        out += table.csv(csv_tag);
+    return out;
 }
 
 } // namespace nlfm::serve

@@ -27,6 +27,9 @@ struct StatsSnapshot
 {
     std::size_t completed = 0;
     std::size_t deadlineMet = 0;
+    /// Requests rejected by admission-time load shedding (their futures
+    /// fail with ShedError); not counted in completed.
+    std::size_t shed = 0;
     std::size_t totalSteps = 0;
     double wallSeconds = 0.0;
 
@@ -72,6 +75,9 @@ class ServingStats
     /// Record one completed request.
     void record(const Response &response);
 
+    /// Record one request rejected by admission-time load shedding.
+    void recordShed();
+
     /// Reduce everything recorded since start()/reset(). Wall time runs
     /// from start() to the last recorded completion.
     StatsSnapshot snapshot() const;
@@ -91,8 +97,24 @@ class ServingStats
     double serviceSumMs_ = 0.0;
     double reuseSum_ = 0.0;
     std::size_t deadlineMet_ = 0;
+    std::size_t shed_ = 0;
     std::size_t totalSteps_ = 0;
     std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+};
+
+/// Per-model breakdown of a fleet interval plus the aggregate — the
+/// multi-model half of the serving accounting. names/perModel are
+/// parallel arrays in model-registration order.
+struct FleetStatsSnapshot
+{
+    StatsSnapshot aggregate;
+    std::vector<std::string> names;
+    std::vector<StatsSnapshot> perModel;
+
+    /// One row per model plus the aggregate, via common/report;
+    /// @p csv_tag non-empty additionally emits the CSV block.
+    std::string report(const std::string &title,
+                       const std::string &csv_tag = "") const;
 };
 
 } // namespace nlfm::serve

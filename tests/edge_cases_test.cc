@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "common/cli.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "epur/simulator.hh"
 #include "memo/memo_engine.hh"
@@ -215,6 +216,24 @@ TEST(GuardRailTest, DotSizeMismatchPanics)
         },
         "size mismatch");
 #endif
+}
+
+TEST(GuardRailTest, NestedThreadPoolRunPanics)
+{
+    // ThreadPool has one job slot: a nested multi-chunk run() from
+    // inside a worker body would overwrite the job the workers are
+    // draining. The guard makes that loud instead of undefined. (The
+    // pool and both runs live inside the death statement so the forked
+    // death-test child owns its own threads.)
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(2);
+            pool.run(2, [&pool](std::size_t begin, std::size_t) {
+                if (begin == 0)
+                    pool.run(2, [](std::size_t, std::size_t) {});
+            });
+        },
+        "not reentrant");
 }
 
 TEST(GuardRailTest, UnknownCliOptionIsFatal)

@@ -12,10 +12,16 @@
  *  - Outputs are deterministic across server worker counts and chunk
  *    sizes.
  *  - RequestQueue preserves FIFO order, enforces capacity, and fails
- *    cleanly on close.
+ *    cleanly on close — including under concurrent producers racing a
+ *    close() (the multi-producer contract the fleet host leans on).
+ *  - Admission-time load shedding (ServerOptions::shedExpired) fails
+ *    expired requests with ShedError and counts them.
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "common/rng.hh"
 #include "memo/memo_batch.hh"
@@ -117,6 +123,104 @@ TEST(RequestQueueTest, FifoOrderCapacityAndClose)
     EXPECT_FALSE(queue.tryPush(std::move(d)));
     EXPECT_FALSE(queue.push(std::move(d)));
     EXPECT_TRUE(queue.closed());
+}
+
+TEST(RequestQueueTest, ConcurrentProducersPreservePerProducerFifo)
+{
+    // Several producers block on a deliberately tiny queue while one
+    // consumer drains it: every pushed item must come out exactly once,
+    // and each producer's items must come out in that producer's order
+    // (global FIFO across producers is unspecified under contention).
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kPerProducer = 200;
+    serve::RequestQueue queue(3);
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p)
+        producers.emplace_back([&queue, p] {
+            for (std::size_t i = 0; i < kPerProducer; ++i) {
+                serve::QueuedRequest item;
+                item.id = p * kPerProducer + i;
+                ASSERT_TRUE(queue.push(std::move(item)));
+            }
+        });
+
+    std::vector<std::vector<std::uint64_t>> popped(kProducers);
+    std::size_t total = 0;
+    while (total < kProducers * kPerProducer) {
+        auto item = queue.tryPop();
+        if (!item) {
+            queue.waitNonEmpty(std::chrono::milliseconds(1));
+            continue;
+        }
+        popped[item->id / kPerProducer].push_back(item->id %
+                                                  kPerProducer);
+        ++total;
+    }
+    for (auto &producer : producers)
+        producer.join();
+
+    EXPECT_EQ(queue.size(), 0u);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        ASSERT_EQ(popped[p].size(), kPerProducer) << "producer " << p;
+        for (std::size_t i = 0; i < kPerProducer; ++i)
+            ASSERT_EQ(popped[p][i], i)
+                << "producer " << p << " out of order at " << i;
+    }
+}
+
+TEST(RequestQueueTest, CloseRacingProducersNeverLosesOrDuplicates)
+{
+    // close() races blocking pushes: afterwards, exactly the successful
+    // pushes must be poppable (each once), every failed push must come
+    // after that producer's last success, and no push may hang.
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kPerProducer = 300;
+    serve::RequestQueue queue(2); // tiny: producers park in push()
+
+    std::vector<std::atomic<std::size_t>> succeeded(kProducers);
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (std::size_t i = 0; i < kPerProducer; ++i) {
+                serve::QueuedRequest item;
+                item.id = p * kPerProducer + i;
+                if (!queue.push(std::move(item)))
+                    break; // closed: every later push would fail too
+                succeeded[p].store(i + 1);
+            }
+        });
+
+    // Drain a while, then slam the door mid-stream.
+    std::vector<std::vector<std::uint64_t>> popped(kProducers);
+    std::size_t total = 0;
+    while (total < kProducers * kPerProducer / 4) {
+        auto item = queue.tryPop();
+        if (!item)
+            continue;
+        popped[item->id / kPerProducer].push_back(item->id %
+                                                  kPerProducer);
+        ++total;
+    }
+    queue.close();
+    for (auto &producer : producers)
+        producer.join(); // close-fails-pushes: nobody hangs
+
+    // Drain the remainder; pops work after close until empty.
+    while (auto item = queue.tryPop())
+        popped[item->id / kPerProducer].push_back(item->id %
+                                                  kPerProducer);
+
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        ASSERT_EQ(popped[p].size(), succeeded[p].load())
+            << "producer " << p
+            << ": popped count != successful pushes";
+        for (std::size_t i = 0; i < popped[p].size(); ++i)
+            ASSERT_EQ(popped[p][i], i)
+                << "producer " << p << " out of order at " << i;
+    }
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(ServeTest, StaggeredAdmissionMatchesSerialAndClosedBatch)
@@ -382,6 +486,48 @@ TEST(ServeTest, MalformedRequestFailsItsOwnFutureOnly)
                         options.memo.theta),
         serve::Server::collect(good_future).output, "after rejection");
     server.drain(); // must not count the rejected request as pending
+}
+
+TEST(ServeTest, ShedExpiredRequestsFailFastAndAreCounted)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(97);
+    nn::initNetwork(network, rng);
+    const auto sequences = makeSequences(3, config.inputSize, 151);
+
+    serve::ServerOptions options;
+    options.slots = 1;
+    options.memoized = false;
+    options.shedExpired = true;
+    serve::Server server(network, /*bnn=*/nullptr, options);
+
+    // The blocker owns the only slot; the doomed request's deadline is
+    // over before admission can happen, so it must be shed — and the
+    // request behind it must still be served normally.
+    serve::Request blocker;
+    blocker.input = sequences[0];
+    auto blocker_future = server.enqueue(std::move(blocker));
+
+    serve::Request doomed;
+    doomed.input = sequences[1];
+    doomed.deadlineMs = 1e-7;
+    auto doomed_future = server.enqueue(std::move(doomed));
+
+    serve::Request unharmed;
+    unharmed.input = sequences[2];
+    auto unharmed_future = server.enqueue(std::move(unharmed));
+
+    EXPECT_THROW(doomed_future.get(), serve::ShedError);
+    EXPECT_EQ(serve::Server::collect(blocker_future).steps,
+              sequences[0].size());
+    EXPECT_EQ(serve::Server::collect(unharmed_future).steps,
+              sequences[2].size());
+    server.drain(); // shed requests must not count as pending
+
+    const serve::StatsSnapshot stats = server.stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.completed, 2u);
 }
 
 TEST(ServeTest, EngineSlotLifecycleIsolatesTenants)
