@@ -23,6 +23,12 @@ parseBenchArgs(int argc, const char *const *argv,
     cli.addInt("sequences", 0, "sequences per split (0 = spec default)");
     cli.addInt("theta-points", 8, "threshold sweep resolution");
     cli.addBool("quick", false, "downsized smoke run");
+    cli.addBool("admission-sweep", false,
+                "serving benches: also sweep FIFO vs EDF + predictive "
+                "shedding past the queueing knee");
+    cli.addBool("cost-aware", false,
+                "serving benches: also run the fleet sweep with EDF + "
+                "predictive shedding + cost-aware DRR admission");
     if (!cli.parse(argc, argv))
         std::exit(0);
 
@@ -33,6 +39,8 @@ parseBenchArgs(int argc, const char *const *argv,
     options.thetaPoints =
         static_cast<std::size_t>(cli.getInt("theta-points"));
     options.quick = cli.getBool("quick");
+    options.admissionSweep = cli.getBool("admission-sweep");
+    options.costAware = cli.getBool("cost-aware");
 
     const std::string networks = cli.getString("networks");
     if (networks == "all") {

@@ -35,6 +35,14 @@ struct BenchOptions
     std::size_t sequences = 0;         ///< 0 = spec default
     std::size_t thetaPoints = 8;       ///< sweep resolution
     bool quick = false;                ///< downsized smoke run
+    /// Serving benches only: additionally sweep the PR 5 admission
+    /// policies (FIFO vs EDF + predictive shedding) past the queueing
+    /// knee (bench_serving_load; full mode writes BENCH_PR5.json).
+    bool admissionSweep = false;
+    /// Serving benches only: additionally run the fleet sweep with
+    /// EDF + predictive shedding + cost-aware DRR admission
+    /// (bench_multi_model_load).
+    bool costAware = false;
 };
 
 /**

@@ -23,10 +23,15 @@
  * models and (b) sheds are counted per model. Full mode writes
  * BENCH_PR4.json into the working directory.
  *
+ * --cost-aware repeats the equal-weight sweep with the PR 5 admission
+ * policies on (EDF + expired/predictive shedding + cost-aware DRR
+ * quanta, all calibrated from the saturation probe) and holds it to
+ * the same fairness bar.
+ *
  * Exits non-zero when any request goes unaccounted (completed + shed
  * must equal offered) or when equal-weight fairness at the lowest
- * offered load drops below 0.85 (the acceptance bar: per-model goodput
- * within 15% under equal offered load).
+ * offered load — in either mode — drops below 0.85 (the acceptance
+ * bar: per-model goodput within 15% under equal offered load).
  */
 
 #include <chrono>
@@ -72,6 +77,9 @@ struct FleetModel
     /// Mean service seconds per ragged request under fleet saturation
     /// (the calibration probe run).
     double costSec = 0.0;
+    /// costSec reduced to per-step milliseconds — the calibration the
+    /// PR 5 admission policies consume (ModelSpec::calibratedStepCostMs).
+    double stepCostMs = 0.0;
     double deadlineMs = 0.0;
 };
 
@@ -102,6 +110,7 @@ runFleetLoad(std::vector<FleetModel> &models,
         spec.memo.predictor = memo::PredictorKind::Bnn;
         spec.memo.theta = 0.05;
         spec.weight = weights[m];
+        spec.calibratedStepCostMs = models[m].stepCostMs;
         registry.add(spec);
     }
     serve::FleetServer fleet(registry, options);
@@ -247,6 +256,8 @@ main(int argc, char **argv)
     for (std::size_t m = 0; m < models.size(); ++m) {
         models[m].costSec =
             saturation.perModel[m].meanServiceMs / 1000.0;
+        models[m].stepCostMs =
+            saturation.perModel[m].meanServiceMs / models[m].meanLen;
         models[m].deadlineMs =
             3.0 * saturation.perModel[m].meanServiceMs + 500.0;
         std::printf("  %-12s (%s): saturated service %.1f ms/seq -> "
@@ -308,6 +319,61 @@ main(int argc, char **argv)
                     "(min/max per-model deadline-met completions)\n",
                     point.multiplier, point.fairness);
 
+    // Cost-aware policy mode (--cost-aware): the same equal-weight
+    // sweep with the PR 5 admission policies on — EDF within each
+    // model's queue, expired + predictive shedding scaled by the
+    // saturation-probe calibration above, and DRR quanta charged by
+    // calibrated service cost instead of 1 credit/request. The
+    // fairness bar applies unchanged: deadline-aware scheduling must
+    // not break weighted fairness.
+    std::vector<PointResult> policy_points;
+    bool policy_accounted = true;
+    double policy_low_fairness = 1.0;
+    if (options.costAware) {
+        serve::FleetOptions policy_options = fleet_options;
+        policy_options.queuePolicy = serve::QueuePolicy::Edf;
+        policy_options.shedExpired = true;
+        policy_options.shedPredicted = true;
+        policy_options.costAwareAdmission = true;
+
+        TablePrinter policy_table(
+            "fleet load sweep (EDF + predictive shed + cost-aware "
+            "DRR)");
+        policy_table.setHeader({"offered/s/model", "model",
+                                "completed/s", "goodput/s", "shed",
+                                "p99 ms", "mean queue ms"});
+        for (const double multiplier : load_multipliers) {
+            const double offered = per_model_capacity * multiplier;
+            PointResult point;
+            point.multiplier = multiplier;
+            point.offeredPerModel = offered;
+            point.stats = runFleetLoad(models, equal_weights,
+                                       policy_options, offered, seed++);
+            point.fairness = fairnessOf(point.stats);
+            for (std::size_t m = 0; m < models.size(); ++m) {
+                const serve::StatsSnapshot &s = point.stats.perModel[m];
+                policy_table.addRow(
+                    {formatDouble(offered, 2), models[m].name,
+                     formatDouble(s.throughput(), 2),
+                     formatDouble(s.goodput(), 2),
+                     std::to_string(s.shed),
+                     formatDouble(s.p99LatencyMs, 1),
+                     formatDouble(s.meanQueueMs, 1)});
+            }
+            if (point.stats.aggregate.completed +
+                    point.stats.aggregate.shed !=
+                requests_per_model * models.size())
+                policy_accounted = false;
+            policy_points.push_back(std::move(point));
+        }
+        policy_table.print("multi_model_policy");
+        for (const PointResult &point : policy_points)
+            std::printf("policy-mode fairness at %.1fx: %.3f "
+                        "(min/max per-model deadline-met)\n",
+                        point.multiplier, point.fairness);
+        policy_low_fairness = policy_points.front().fairness;
+    }
+
     // Weighted + shedding demonstration (full mode): overload the
     // fleet at 2:1:... weights with expired-deadline shedding on.
     // Weight buys ADMISSION share, not tick time, so the clean
@@ -358,9 +424,13 @@ main(int argc, char **argv)
         accounted = false;
 
     const double low_load_fairness = points.front().fairness;
-    std::printf("accounting %s; fairness at %.1fx = %.3f (bar 0.85)\n",
-                accounted ? "ok" : "LOST REQUESTS",
+    std::printf("accounting %s; fairness at %.1fx = %.3f (bar 0.85)",
+                accounted && policy_accounted ? "ok" : "LOST REQUESTS",
                 points.front().multiplier, low_load_fairness);
+    if (options.costAware)
+        std::printf("; policy-mode fairness %.3f (same bar)",
+                    policy_low_fairness);
+    std::printf("\n");
 
     if (!options.quick) {
         std::FILE *json = std::fopen("BENCH_PR4.json", "w");
@@ -444,5 +514,8 @@ main(int argc, char **argv)
         }
     }
 
-    return accounted && low_load_fairness >= 0.85 ? 0 : 1;
+    return accounted && policy_accounted && low_load_fairness >= 0.85 &&
+                   policy_low_fairness >= 0.85
+               ? 0
+               : 1;
 }

@@ -16,6 +16,16 @@
  * packed batch could just sustain; above that the bounded queue fills
  * and latency is dominated by queueing, which is the expected and
  * reported behavior (goodput saturates, p99 explodes).
+ *
+ * --admission-sweep additionally compares FIFO against the PR 5
+ * deadline-aware policies (EDF queue order + expired/predictive
+ * shedding, calibrated from the same closed-batch measurement) on a
+ * tight/loose deadline mix at and beyond the queueing knee; full
+ * (non --quick) runs write BENCH_PR5_serving.json — a scratch record
+ * that is merged BY HAND with the bench_multi_model_load --cost-aware
+ * fairness numbers into the curated, checked-in BENCH_PR5.json
+ * (writing the curated name directly would clobber the merged fleet
+ * section on every rerun).
  */
 
 #include <chrono>
@@ -62,14 +72,18 @@ struct LoadPoint
 /**
  * One open-loop run: @p count requests, exponential interarrivals at
  * @p offered per second, alternating theta between lo and hi (the theta
- * mix — mixed panels take the per-slot scalar decision path).
+ * mix — mixed panels take the per-slot scalar decision path) and
+ * cycling @p deadlines per request (a single-element span is the
+ * uniform-deadline case; the admission sweep alternates tight/loose).
+ * Shed futures (admission policies on) carry ShedError; everything
+ * else completes.
  */
 serve::StatsSnapshot
 runLoad(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
         const serve::ServerOptions &options,
         std::span<const nn::Sequence> requests, double theta_lo,
-        double theta_hi, double offered, double deadline_ms,
-        std::uint64_t seed)
+        double theta_hi, double offered,
+        std::span<const double> deadlines, std::uint64_t seed)
 {
     serve::Server server(network, &bnn, options);
     Rng rng(seed);
@@ -89,10 +103,16 @@ runLoad(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
         serve::Request request;
         request.input = requests[i];
         request.theta = i % 2 == 0 ? theta_lo : theta_hi;
-        request.deadlineMs = deadline_ms;
+        request.deadlineMs = deadlines[i % deadlines.size()];
         futures.push_back(server.enqueue(std::move(request)));
     }
     server.drain();
+    for (auto &future : futures) {
+        try {
+            serve::Server::collect(future);
+        } catch (const serve::ShedError &) {
+        }
+    }
     return server.stats();
 }
 
@@ -197,9 +217,10 @@ main(int argc, char **argv)
             point.thetaLo = mix.lo;
             point.thetaHi = mix.hi;
             point.offered = offered;
+            const double uniform_deadline[] = {deadline_ms};
             point.stats =
                 runLoad(network, bnn, server_options, requests, mix.lo,
-                        mix.hi, offered, deadline_ms, seed++);
+                        mix.hi, offered, uniform_deadline, seed++);
             points.push_back(point);
 
             const serve::StatsSnapshot &s = point.stats;
@@ -231,12 +252,181 @@ main(int argc, char **argv)
                                   "serving_load_last")
                     .c_str());
 
-    // Sanity line for the CI smoke run: every request completed.
+    // ------------------------------------------------------------------
+    // Admission-policy sweep (--admission-sweep): FIFO vs EDF +
+    // predictive + expired shedding on a tight/loose deadline mix, at
+    // and beyond the queueing knee. The EDF server's calibration is
+    // the same closed-batch measurement the load multipliers use,
+    // reduced to a per-step cost.
+    bool admission_accounted = true;
+    struct PolicyPoint
+    {
+        double multiplier = 0.0;
+        double offered = 0.0;
+        serve::StatsSnapshot fifo;
+        serve::StatsSnapshot edf;
+    };
+    std::vector<PolicyPoint> policy_points;
+    const double step_cost_ms =
+        1000.0 * cal_sec / static_cast<double>(slots) /
+        static_cast<double>(steps);
+    const double service_ms =
+        1000.0 * cal_sec / static_cast<double>(slots);
+    // Tight deadlines miss as soon as queueing sets in; loose ones
+    // only at deep backlogs. FIFO cannot tell them apart; EDF serves
+    // tight first and predictive shedding stops burning slots on the
+    // provably lost. The tight bound budgets several times the
+    // closed-batch service estimate because open-loop service is
+    // occupancy-dependent (a loaded tick steps every live slot): it
+    // must be meetable when prioritized, or no queue order can help.
+    const double deadline_mix[] = {6.0 * service_ms,
+                                   20.0 * service_ms + 400.0};
+    if (options.admissionSweep) {
+        std::printf("\nadmission-policy sweep: deadline mix %.0f/%.0f "
+                    "ms, step cost %.3f ms\n",
+                    deadline_mix[0], deadline_mix[1], step_cost_ms);
+        serve::ServerOptions edf_options = server_options;
+        edf_options.queuePolicy = serve::QueuePolicy::Edf;
+        edf_options.shedExpired = true;
+        edf_options.shedPredicted = true;
+        edf_options.calibratedStepCostMs = step_cost_ms;
+
+        TablePrinter policy_table("FIFO vs EDF+predictive (" + name +
+                                  ")");
+        policy_table.setHeader({"policy", "offered/s", "completed/s",
+                                "goodput/s", "met", "shed",
+                                "shed pred", "p99 ms"});
+        const std::vector<double> policy_multipliers =
+            options.quick ? std::vector<double>{1.3}
+                          : std::vector<double>{1.2, 2.0, 3.0};
+        for (const double multiplier : policy_multipliers) {
+            PolicyPoint point;
+            point.multiplier = multiplier;
+            point.offered = capacity * multiplier;
+            // Same seed for both policies: identical arrival times and
+            // request mix, so the goodput difference is the policy,
+            // not Poisson luck.
+            point.fifo = runLoad(network, bnn, server_options, requests,
+                                 0.05, 0.05, point.offered,
+                                 deadline_mix, seed);
+            point.edf = runLoad(network, bnn, edf_options, requests,
+                                0.05, 0.05, point.offered, deadline_mix,
+                                seed);
+            ++seed;
+            for (const auto *snap : {&point.fifo, &point.edf}) {
+                policy_table.addRow(
+                    {snap == &point.fifo ? "fifo" : "edf+shed",
+                     formatDouble(point.offered, 2),
+                     formatDouble(snap->throughput(), 2),
+                     formatDouble(snap->goodput(), 2),
+                     std::to_string(snap->deadlineMet),
+                     std::to_string(snap->shed),
+                     std::to_string(snap->shedPredicted),
+                     formatDouble(snap->p99LatencyMs, 1)});
+                if (snap->completed + snap->shed != requests.size())
+                    admission_accounted = false;
+            }
+            policy_points.push_back(point);
+        }
+        policy_table.print("serving_load_policy");
+        for (const PolicyPoint &point : policy_points)
+            std::printf("goodput at %.1fx: fifo %.2f/s vs "
+                        "edf+predictive %.2f/s (%+.0f%%)\n",
+                        point.multiplier, point.fifo.goodput(),
+                        point.edf.goodput(),
+                        point.fifo.goodput() > 0.0
+                            ? 100.0 * (point.edf.goodput() /
+                                           point.fifo.goodput() -
+                                       1.0)
+                            : 0.0);
+
+        if (!options.quick) {
+            // Scratch name, not BENCH_PR5.json: the checked-in file
+            // also carries the hand-merged bench_multi_model_load
+            // --cost-aware fleet section, which a rerun here must not
+            // silently delete.
+            std::FILE *json =
+                std::fopen("BENCH_PR5_serving.json", "w");
+            if (json) {
+                std::fprintf(json, "{\n  \"pr\": 5,\n");
+                std::fprintf(
+                    json,
+                    "  \"title\": \"Deadline-aware admission: EDF "
+                    "queues, predictive shedding, cost-aware DRR\",\n");
+                std::fprintf(json,
+                             "  \"bench\": \"bench_serving_load "
+                             "--admission-sweep (full mode)\",\n");
+                std::fprintf(
+                    json,
+                    "  \"serving\": {\n    \"network\": \"%s\", "
+                    "\"slots\": %zu, \"requests\": %zu, \"steps\": "
+                    "%zu, \"theta\": 0.05,\n",
+                    name.c_str(), slots, requests.size(), steps);
+                std::fprintf(
+                    json,
+                    "    \"calibration\": { \"closed_batch_sec\": "
+                    "%.3f, \"capacity_seq_per_s\": %.2f, "
+                    "\"step_cost_ms\": %.3f, \"deadline_mix_ms\": "
+                    "[%.0f, %.0f] },\n",
+                    cal_sec, capacity, step_cost_ms, deadline_mix[0],
+                    deadline_mix[1]);
+                std::fprintf(json, "    \"fifo_vs_edf\": [\n");
+                for (std::size_t p = 0; p < policy_points.size(); ++p) {
+                    const PolicyPoint &point = policy_points[p];
+                    std::fprintf(
+                        json,
+                        "      { \"multiplier\": %.1f, "
+                        "\"offered_per_s\": %.2f,\n"
+                        "        \"fifo\": { \"goodput_per_s\": %.2f, "
+                        "\"deadline_met\": %zu, \"shed\": %zu, "
+                        "\"p99_ms\": %.1f },\n"
+                        "        \"edf_predictive\": { "
+                        "\"goodput_per_s\": %.2f, \"deadline_met\": "
+                        "%zu, \"shed\": %zu, \"shed_predicted\": %zu, "
+                        "\"p99_ms\": %.1f },\n"
+                        "        \"goodput_ratio\": %.2f }%s\n",
+                        point.multiplier, point.offered,
+                        point.fifo.goodput(), point.fifo.deadlineMet,
+                        point.fifo.shed, point.fifo.p99LatencyMs,
+                        point.edf.goodput(), point.edf.deadlineMet,
+                        point.edf.shed, point.edf.shedPredicted,
+                        point.edf.p99LatencyMs,
+                        point.fifo.goodput() > 0.0
+                            ? point.edf.goodput() / point.fifo.goodput()
+                            : 0.0,
+                        p + 1 < policy_points.size() ? "," : "");
+                }
+                std::fprintf(json, "    ]\n  },\n");
+                std::fprintf(
+                    json,
+                    "  \"acceptance\": { \"requirement\": "
+                    "\"EDF+predictive goodput >= FIFO goodput at >= "
+                    "1.2x calibrated capacity; defaults bit-identical "
+                    "to PR 4 (tests/serve_test.cc, "
+                    "tests/fleet_test.cc unmodified)\", "
+                    "\"fleet_fairness\": \"bench_multi_model_load "
+                    "--cost-aware, recorded below after a manual "
+                    "run\" }\n}\n");
+                std::fclose(json);
+                std::printf("wrote BENCH_PR5_serving.json (merge with "
+                            "the bench_multi_model_load --cost-aware "
+                            "fairness numbers into BENCH_PR5.json)\n");
+            }
+        }
+    }
+
+    // Sanity line for the CI smoke run: every request completed (or,
+    // in the policy sweep, was shed by an admission policy).
     std::size_t completed = 0;
     for (const LoadPoint &point : points)
         completed += point.stats.completed;
-    std::printf("completed %zu/%zu requests across %zu load points\n",
+    std::printf("completed %zu/%zu requests across %zu load points%s\n",
                 completed, points.size() * requests.size(),
-                points.size());
-    return completed == points.size() * requests.size() ? 0 : 1;
+                points.size(),
+                admission_accounted ? "" : "; POLICY SWEEP LOST "
+                                           "REQUESTS");
+    return completed == points.size() * requests.size() &&
+                   admission_accounted
+               ? 0
+               : 1;
 }

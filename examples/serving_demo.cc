@@ -5,8 +5,11 @@
  * Builds the IMDB-shaped sentiment network, starts a Server with a
  * 4-slot pool, submits a handful of requests with different per-request
  * reuse thresholds from two client threads, and prints each response's
- * latency/reuse numbers plus the aggregate report. The whole program is
- * the docs/SERVING.md walkthrough in runnable form.
+ * latency/reuse numbers plus the aggregate report — then restarts the
+ * server with the deadline-aware admission policies (EDF queue order,
+ * expired + predictive shedding) and shows a hopeless deadline failing
+ * fast with ShedError while viable requests complete. The whole program
+ * is the docs/SERVING.md walkthrough in runnable form.
  */
 
 #include <cstdio>
@@ -74,5 +77,50 @@ main()
 
     std::printf("\n%s\n",
                 server.stats().report("serving_demo aggregate").c_str());
+    server.stop();
+
+    // Deadline-aware admission (docs/SERVING.md, "Admission
+    // policies"): EDF pops the most urgent queued request first, and
+    // predictive shedding fails a request whose deadline the
+    // calibrated estimate proves unreachable — fast, at enqueue,
+    // instead of serving it late or letting it rot in the queue.
+    serve::ServerOptions deadline_options = options;
+    deadline_options.queuePolicy = serve::QueuePolicy::Edf;
+    deadline_options.shedExpired = true;
+    deadline_options.shedPredicted = true;
+    // Real deployments calibrate this (see bench_serving_load); the
+    // demo overstates it so the hopeless request below sheds
+    // deterministically.
+    deadline_options.calibratedStepCostMs = 5.0;
+    serve::Server deadline_server(*workload->network,
+                                  workload->bnn.get(),
+                                  deadline_options);
+
+    std::printf("deadline-aware admission (EDF + shedding, step cost "
+                "%.1f ms):\n",
+                deadline_options.calibratedStepCostMs);
+    std::vector<std::future<serve::Response>> deadline_futures;
+    const double deadlines[] = {5000.0, 10.0, 0.0}; // viable/hopeless/none
+    for (std::size_t i = 0; i < 3; ++i) {
+        serve::Request request;
+        request.input = workload->testInputs[i];
+        request.deadlineMs = deadlines[i];
+        deadline_futures.push_back(
+            deadline_server.enqueue(std::move(request)));
+    }
+    for (std::size_t i = 0; i < deadline_futures.size(); ++i) {
+        try {
+            show("served ",
+                 serve::Server::collect(deadline_futures[i]));
+        } catch (const serve::ShedError &error) {
+            std::printf("  shed    request %zu (deadline %.0f ms): "
+                        "%s\n",
+                        i, deadlines[i], error.what());
+        }
+    }
+    const serve::StatsSnapshot deadline_stats = deadline_server.stats();
+    std::printf("  -> %zu completed, %zu shed (%zu predicted)\n",
+                deadline_stats.completed, deadline_stats.shed,
+                deadline_stats.shedPredicted);
     return 0;
 }

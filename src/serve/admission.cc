@@ -1,0 +1,260 @@
+#include "serve/admission.hh"
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+namespace
+{
+
+double
+millis(Clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+Admission::Admission(AdmissionConfig config,
+                     std::vector<AdmissionModel> models,
+                     ServingStats &aggregate)
+    : config_(std::move(config)), models_(std::move(models)),
+      aggregate_(aggregate)
+{
+    nlfm_assert(!models_.empty(), "admission with zero models");
+    nlfm_assert(config_.slots > 0, "admission over an empty slot pool");
+    queues_.reserve(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        queues_.push_back(std::make_unique<RequestQueue>(
+            config_.queueCapacity, config_.queuePolicy));
+}
+
+std::future<Response>
+Admission::submit(std::size_t model, Request request)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    const AdmissionModel &info = models_[model];
+
+    QueuedRequest item;
+    item.id = nextId_.fetch_add(1);
+    item.request = std::move(request);
+    item.enqueueTime = Clock::now();
+    std::future<Response> future = item.promise.get_future();
+
+    // Validate client data here, on the client's thread: a malformed
+    // request fails its own future instead of reaching the driver (an
+    // assert there would take down every in-flight request).
+    for (const auto &frame : item.request.input) {
+        if (frame.size() != info.inputWidth) {
+            item.promise.set_exception(std::make_exception_ptr(
+                std::invalid_argument(
+                    config_.server + ": request frame width " +
+                    std::to_string(frame.size()) + " != " +
+                    info.inputLabel + " " +
+                    std::to_string(info.inputWidth))));
+            return future;
+        }
+    }
+
+    submitted_.fetch_add(1);
+
+    // Predictive shedding, enqueue-time check: even if the queue ahead
+    // drains at the full pool rate and this request is then served
+    // without a gap, its deadline falls short — no schedule can save
+    // it, so fail it before it consumes queue capacity. Skipped once
+    // the queue is closed, so a post-stop enqueue fails as "stopped"
+    // like every other (a close() racing in between just means the
+    // request was genuinely in flight during shutdown).
+    if (config_.shedPredicted && !queues_[model]->closed() &&
+        item.request.deadlineMs > 0.0 && info.stepCostMs > 0.0) {
+        const std::size_t ahead =
+            queues_[model]->stepsAhead(deadlineAt(item));
+        if (predictedLatencyMs(0.0, ahead, item.request.input.size(),
+                               info.stepCostMs) >
+            item.request.deadlineMs) {
+            shed(std::move(item), model, ShedReason::PredictedMiss);
+            return future;
+        }
+    }
+
+    if (!queues_[model]->push(std::move(item))) {
+        // Queue closed by stop(): fail the request explicitly instead
+        // of leaving a broken promise. (push only consumes the item on
+        // success, so the promise is still ours to fail.)
+        item.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(config_.server + " stopped")));
+        finishOne();
+        return future;
+    }
+    signalWork();
+    return future;
+}
+
+std::future<Response>
+Admission::reject(Request request, std::exception_ptr error)
+{
+    QueuedRequest item;
+    item.id = nextId_.fetch_add(1);
+    item.request = std::move(request);
+    std::future<Response> future = item.promise.get_future();
+    item.promise.set_exception(std::move(error));
+    return future;
+}
+
+Admission::Pop
+Admission::pop(std::size_t model, QueuedRequest &out)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    auto item = queues_[model]->tryPop();
+    if (!item)
+        return Pop::Empty;
+
+    const double deadline_ms = item->request.deadlineMs;
+    if (deadline_ms > 0.0 &&
+        (config_.shedExpired || config_.shedPredicted)) {
+        const double elapsed_ms =
+            millis(Clock::now() - item->enqueueTime);
+        // Expired: the one guaranteed-zero-goodput case. Predictive
+        // shedding subsumes it (what expired certainly cannot finish),
+        // but the reason stays Expired either way — PredictedMiss is
+        // documented as "deadline still ahead", and the counters must
+        // not misattribute expired drops to the predictor.
+        if (elapsed_ms > deadline_ms) {
+            shed(std::move(*item), model, ShedReason::Expired);
+            return Pop::Shed;
+        }
+        // Predicted miss: not expired yet, but even immediate service
+        // at the calibrated cost lands past the deadline.
+        const double cost_ms = models_[model].stepCostMs;
+        if (config_.shedPredicted && cost_ms > 0.0 &&
+            predictedLatencyMs(elapsed_ms, 0,
+                               item->request.input.size(), cost_ms) >
+                deadline_ms) {
+            shed(std::move(*item), model, ShedReason::PredictedMiss);
+            return Pop::Shed;
+        }
+    }
+    out = std::move(*item);
+    return Pop::Admit;
+}
+
+void
+Admission::complete(std::size_t model, SlotState &state, double theta,
+                    double reuse)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    const Clock::time_point now = Clock::now();
+
+    Response response;
+    response.id = state.id;
+    response.steps = state.request.input.size();
+    response.theta = theta;
+    response.reuseFraction = reuse;
+    response.queueMs = millis(state.admitTime - state.enqueueTime);
+    response.serviceMs = millis(now - state.admitTime);
+    response.latencyMs = millis(now - state.enqueueTime);
+    response.deadlineMet =
+        state.request.deadlineMs <= 0.0 ||
+        response.latencyMs <= state.request.deadlineMs;
+    response.output = std::move(state.output);
+
+    aggregate_.record(response);
+    if (models_[model].stats)
+        models_[model].stats->record(response);
+    state.promise.set_value(std::move(response));
+    finishOne();
+}
+
+std::size_t
+Admission::queueDepth(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return queues_[model]->size();
+}
+
+bool
+Admission::drainedAndClosed() const
+{
+    for (const auto &queue : queues_)
+        if (!queue->closed() || queue->size() != 0)
+            return false;
+    return true;
+}
+
+void
+Admission::waitWork(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(wakeMutex_);
+    wakeCv_.wait_for(lock, timeout,
+                     [&] { return workSignals_ != workSeen_; });
+    workSeen_ = workSignals_;
+}
+
+void
+Admission::close()
+{
+    for (auto &queue : queues_)
+        queue->close();
+    signalWork();
+}
+
+void
+Admission::drain()
+{
+    std::unique_lock<std::mutex> lock(drainMutex_);
+    drainCv_.wait(lock, [&] {
+        return finished_.load() >= submitted_.load();
+    });
+}
+
+void
+Admission::finishOne()
+{
+    finished_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+    }
+    drainCv_.notify_all();
+}
+
+void
+Admission::signalWork()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        ++workSignals_;
+    }
+    wakeCv_.notify_all();
+}
+
+void
+Admission::shed(QueuedRequest &&item, std::size_t model,
+                ShedReason reason)
+{
+    if (models_[model].stats)
+        models_[model].stats->recordShed(reason);
+    aggregate_.recordShed(reason);
+    item.promise.set_exception(std::make_exception_ptr(ShedError(
+        config_.server +
+        (reason == ShedReason::Expired
+             ? ": deadline expired before admission (shed)"
+             : ": predicted completion past the deadline (shed)"))));
+    finishOne();
+}
+
+double
+Admission::predictedLatencyMs(double elapsed_ms,
+                              std::size_t ahead_steps,
+                              std::size_t own_steps,
+                              double step_cost_ms) const
+{
+    return elapsed_ms +
+           static_cast<double>(ahead_steps) * step_cost_ms /
+               static_cast<double>(config_.slots) +
+           static_cast<double>(own_steps) * step_cost_ms;
+}
+
+} // namespace nlfm::serve

@@ -30,13 +30,17 @@ FleetScheduler::pickModel(std::span<const std::size_t> pending)
     nlfm_assert(pending.size() == weights_.size(),
                 "pending counts do not match the model count");
     // Idle models drop their credit (no hoarding across idle spells)
-    // and cannot be picked; bail early when everyone is idle.
+    // and cannot be picked; bail early when everyone is idle. Under
+    // cost charging only the positive part resets: debt from an
+    // already-admitted expensive request is machine time actually
+    // consumed, so an idle spell does not forgive it.
     bool any = false;
     for (std::size_t m = 0; m < pending.size(); ++m) {
         if (pending[m] > 0)
             any = true;
         else
-            deficit_[m] = 0.0;
+            deficit_[m] =
+                costCharging_ ? std::min(deficit_[m], 0.0) : 0.0;
     }
     if (!any)
         return -1;
@@ -44,7 +48,9 @@ FleetScheduler::pickModel(std::span<const std::size_t> pending)
     // DRR: grant the cursor model its weight once per visit, admit
     // while credit lasts, move on when it runs out. Each full round
     // adds weight to every backlogged model, so the loop terminates
-    // within ceil(1/min(weight)) rounds.
+    // within ceil(1/min(weight)) rounds — or, under cost charging,
+    // within ceil(maxDebt/min(weight)) rounds (debt is bounded by one
+    // admission's cost).
     while (true) {
         const std::size_t m = cursor_;
         if (pending[m] == 0) {
@@ -56,13 +62,28 @@ FleetScheduler::pickModel(std::span<const std::size_t> pending)
             deficit_[m] += weights_[m];
             charged_ = true;
         }
-        if (deficit_[m] >= 1.0) {
+        if (costCharging_) {
+            // Pick on non-negative credit; the caller charges the
+            // popped request's actual cost afterwards (surplus round
+            // robin — see setCostCharging).
+            if (deficit_[m] >= 0.0)
+                return static_cast<int>(m);
+        } else if (deficit_[m] >= 1.0) {
             deficit_[m] -= 1.0;
             return static_cast<int>(m); // cursor stays: credit remains
         }
         cursor_ = (cursor_ + 1) % weights_.size();
         charged_ = false;
     }
+}
+
+void
+FleetScheduler::charge(std::size_t model, double cost)
+{
+    nlfm_assert(costCharging_, "charge() without cost charging enabled");
+    nlfm_assert(model < deficit_.size(), "model id out of range");
+    nlfm_assert(cost >= 0.0, "negative admission cost");
+    deficit_[model] -= cost;
 }
 
 std::size_t

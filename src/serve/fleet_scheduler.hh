@@ -23,6 +23,13 @@
 ///  - an idle model's credit resets, so bursty traffic cannot hoard
 ///    admissions it did not contend for.
 ///
+/// By default one admission costs one credit, so weights buy admission
+/// COUNT — a heavy model at weight 1 still dominates tick time once
+/// admitted. With cost charging enabled (setCostCharging; wired to
+/// FleetOptions::costAwareAdmission), admissions are charged their
+/// calibrated service cost instead, making weights proportional to
+/// machine time; the flat-credit default stays bit-identical to PR 4.
+///
 /// Like the single-model Scheduler, admission picks the lowest-numbered
 /// free slot and all choices are deterministic given the sequence of
 /// (pickModel, admit, release) calls. Not thread-safe: driven only by
@@ -53,11 +60,31 @@ class FleetScheduler
     std::size_t activeCount() const { return activeCount_; }
     bool hasFree() const { return !freeSlots_.empty(); }
 
+    /// Switch admissions to cost charging (FleetOptions::
+    /// costAwareAdmission): pickModel's quantum grant stays the same,
+    /// but a pick no longer spends a flat 1 credit — the caller charges
+    /// the admission's actual calibrated service cost via charge()
+    /// after popping the request. Credit may go negative (surplus round
+    /// robin: the cost of a request is only known once it is popped),
+    /// so a model that admitted an expensive request sits out rounds
+    /// until its per-round quantum repays the debt — weights buy
+    /// machine time instead of admission count. Enable before the
+    /// first pickModel call.
+    void setCostCharging(bool on) { costCharging_ = on; }
+    bool costCharging() const { return costCharging_; }
+
     /// Pick the model whose queue should admit next, given per-model
     /// pending-request counts (index = model id). Returns -1 when every
-    /// queue is empty. Each successful pick spends one admission credit;
-    /// callers must follow it with admit() for that model.
+    /// queue is empty. Each successful pick spends one admission credit
+    /// (default mode) or must be followed by charge() with the popped
+    /// request's cost (cost-charging mode); callers then admit() for
+    /// that model.
     int pickModel(std::span<const std::size_t> pending);
+
+    /// Charge one admission's service cost (cost-charging mode only).
+    /// Sheds are free — a shed request consumed no machine time, so
+    /// callers simply skip the charge.
+    void charge(std::size_t model, double cost);
 
     /// Admit one request for @p model into the lowest-numbered free
     /// slot. Requires hasFree(). Returns the slot index.
@@ -88,6 +115,7 @@ class FleetScheduler
     /// Whether the model under the cursor already received its quantum
     /// this visit (credit is granted once per visit, not per pick).
     bool charged_ = false;
+    bool costCharging_ = false;
 };
 
 } // namespace nlfm::serve

@@ -11,12 +11,6 @@ namespace nlfm::serve
 namespace
 {
 
-double
-millis(Clock::duration d)
-{
-    return std::chrono::duration<double, std::milli>(d).count();
-}
-
 std::vector<double>
 registryWeights(const ModelRegistry &registry)
 {
@@ -27,15 +21,57 @@ registryWeights(const ModelRegistry &registry)
     return weights;
 }
 
+AdmissionConfig
+fleetAdmissionConfig(const FleetOptions &options)
+{
+    AdmissionConfig config;
+    config.server = "serve::FleetServer";
+    config.queueCapacity = options.queueCapacity;
+    config.slots = options.slots;
+    config.queuePolicy = options.queuePolicy;
+    config.shedExpired = options.shedExpired;
+    config.shedPredicted = options.shedPredicted;
+    return config;
+}
+
+std::vector<AdmissionModel>
+fleetAdmissionModels(const ModelRegistry &registry,
+                     std::vector<ServingStats> &model_stats)
+{
+    std::vector<AdmissionModel> models;
+    models.reserve(registry.size());
+    for (std::size_t m = 0; m < registry.size(); ++m) {
+        const ModelSpec &spec = registry.spec(m);
+        AdmissionModel model;
+        model.inputLabel = "model \"" + spec.name + "\" input";
+        model.inputWidth = spec.network->config().inputSize;
+        model.stepCostMs = spec.calibratedStepCostMs;
+        model.stats = &model_stats[m];
+        models.push_back(std::move(model));
+    }
+    return models;
+}
+
 } // namespace
 
 FleetServer::FleetServer(const ModelRegistry &registry,
                          const FleetOptions &options)
     : options_(options),
       scheduler_(options.slots, registryWeights(registry)),
-      modelStats_(registry.size())
+      modelStats_(registry.size()),
+      admission_(fleetAdmissionConfig(options),
+                 fleetAdmissionModels(registry, modelStats_), stats_)
 {
     nlfm_assert(!registry.empty(), "fleet with zero models");
+    if (options_.shedPredicted || options_.costAwareAdmission)
+        for (std::size_t m = 0; m < registry.size(); ++m)
+            nlfm_assert(registry.spec(m).calibratedStepCostMs > 0.0,
+                        "shedPredicted/costAwareAdmission need every "
+                        "model calibrated (calibratedStepCostMs > 0); "
+                        "model \"", registry.spec(m).name,
+                        "\" is not");
+    if (options_.costAwareAdmission)
+        scheduler_.setCostCharging(true);
     models_.reserve(registry.size());
     for (std::size_t m = 0; m < registry.size(); ++m) {
         ModelRuntime rt;
@@ -55,8 +91,6 @@ FleetServer::FleetServer(const ModelRegistry &registry,
             rt.exact->beginBatch(options_.slots);
             rt.evaluator = rt.exact.get();
         }
-        rt.queue =
-            std::make_unique<RequestQueue>(options_.queueCapacity);
         models_.push_back(std::move(rt));
     }
     if (options_.workers > 1)
@@ -90,48 +124,16 @@ FleetServer::spec(std::size_t model) const
 std::future<Response>
 FleetServer::enqueue(std::size_t model, Request request)
 {
-    QueuedRequest item;
-    item.id = nextId_.fetch_add(1);
-    item.request = std::move(request);
-    item.enqueueTime = Clock::now();
-    std::future<Response> future = item.promise.get_future();
-
-    // Client errors fail the client's own future on the client's
+    // Routing errors fail the client's own future on the client's
     // thread; they never reach the driver.
-    if (model >= models_.size()) {
-        item.promise.set_exception(std::make_exception_ptr(
-            std::invalid_argument("serve::FleetServer: model id " +
-                                  std::to_string(model) +
-                                  " out of range (fleet has " +
-                                  std::to_string(models_.size()) +
-                                  " models)")));
-        return future;
-    }
-    const std::size_t input_size =
-        models_[model].stepper->network().config().inputSize;
-    for (const auto &frame : item.request.input) {
-        if (frame.size() != input_size) {
-            item.promise.set_exception(std::make_exception_ptr(
-                std::invalid_argument(
-                    "serve::FleetServer: request frame width " +
-                    std::to_string(frame.size()) + " != model \"" +
-                    models_[model].spec.name + "\" input " +
-                    std::to_string(input_size))));
-            return future;
-        }
-    }
-
-    enqueued_.fetch_add(1);
-    if (!models_[model].queue->push(std::move(item))) {
-        // Queue closed by stop(): fail the request explicitly. (push
-        // only consumes the item on success.)
-        item.promise.set_exception(std::make_exception_ptr(
-            std::runtime_error("serve::FleetServer stopped")));
-        finishOne();
-        return future;
-    }
-    wakeCv_.notify_all();
-    return future;
+    if (model >= models_.size())
+        return admission_.reject(
+            std::move(request),
+            std::make_exception_ptr(std::invalid_argument(
+                "serve::FleetServer: model id " + std::to_string(model) +
+                " out of range (fleet has " +
+                std::to_string(models_.size()) + " models)")));
+    return admission_.submit(model, std::move(request));
 }
 
 std::future<Response>
@@ -140,13 +142,12 @@ FleetServer::enqueue(const std::string &model, Request request)
     for (std::size_t m = 0; m < models_.size(); ++m)
         if (models_[m].spec.name == model)
             return enqueue(m, std::move(request));
-    QueuedRequest item;
-    item.request = std::move(request);
-    std::future<Response> future = item.promise.get_future();
-    item.promise.set_exception(std::make_exception_ptr(
-        std::invalid_argument("serve::FleetServer: unknown model \"" +
-                              model + "\"")));
-    return future;
+    // reject() draws an id like every submission, so an unknown-model
+    // rejection is distinguishable from request 0's record.
+    return admission_.reject(
+        std::move(request),
+        std::make_exception_ptr(std::invalid_argument(
+            "serve::FleetServer: unknown model \"" + model + "\"")));
 }
 
 Response
@@ -164,9 +165,7 @@ FleetServer::collect(std::future<Response> &&future)
 void
 FleetServer::drain()
 {
-    std::unique_lock<std::mutex> lock(drainMutex_);
-    drainCv_.wait(lock,
-                  [&] { return finished_.load() >= enqueued_.load(); });
+    admission_.drain();
 }
 
 void
@@ -174,9 +173,7 @@ FleetServer::stop()
 {
     if (stopping_.exchange(true))
         return;
-    for (auto &rt : models_)
-        rt.queue->close();
-    wakeCv_.notify_all();
+    admission_.close();
     if (driver_.joinable())
         driver_.join();
 }
@@ -213,18 +210,7 @@ FleetServer::resetStats()
 std::size_t
 FleetServer::queueDepth(std::size_t model) const
 {
-    nlfm_assert(model < models_.size(), "model id out of range");
-    return models_[model].queue->size();
-}
-
-void
-FleetServer::finishOne()
-{
-    finished_.fetch_add(1);
-    {
-        std::lock_guard<std::mutex> lock(drainMutex_);
-    }
-    drainCv_.notify_all();
+    return admission_.queueDepth(model);
 }
 
 void
@@ -233,17 +219,14 @@ FleetServer::driverLoop()
     while (true) {
         admitPending();
         if (scheduler_.activeCount() == 0) {
-            bool all_drained = true;
-            for (auto &rt : models_)
-                if (!rt.queue->closed() || rt.queue->size() != 0)
-                    all_drained = false;
-            if (all_drained)
+            if (admission_.drainedAndClosed())
                 break;
             // Idle: no queue to block on exclusively, so park on the
-            // wake CV until an enqueue/stop (or a short timeout, which
-            // keeps shutdown races harmless).
-            std::unique_lock<std::mutex> lock(wakeMutex_);
-            wakeCv_.wait_for(lock, std::chrono::milliseconds(2));
+            // admission layer's wake channel. Its signal counter is
+            // the predicate a bare notify lacked: an enqueue landing
+            // between the checks above and this wait returns
+            // immediately instead of timing out.
+            admission_.waitWork(std::chrono::milliseconds(2));
             continue;
         }
         tick();
@@ -258,35 +241,29 @@ FleetServer::admitPending()
     // pass are picked up by the next driver-loop iteration.
     pendingDepths_.resize(models_.size());
     for (std::size_t m = 0; m < models_.size(); ++m)
-        pendingDepths_[m] = models_[m].queue->size();
+        pendingDepths_[m] = admission_.queueDepth(m);
     while (scheduler_.hasFree()) {
         const int pick = scheduler_.pickModel(pendingDepths_);
         if (pick < 0)
             break;
-        ModelRuntime &rt = models_[static_cast<std::size_t>(pick)];
-        auto item = rt.queue->tryPop();
-        --pendingDepths_[static_cast<std::size_t>(pick)];
-        if (!item)
-            continue; // only the driver pops; defensive
-        // Admission-time load shedding: a request whose deadline
-        // already passed can only produce zero-goodput work — fail it
-        // now instead of burning a slot. (It still spent one admission
-        // credit, so shedding cannot be used to jump the fair queue.)
-        if (options_.shedExpired && item->request.deadlineMs > 0.0 &&
-            millis(Clock::now() - item->enqueueTime) >
-                item->request.deadlineMs) {
-            modelStats_[static_cast<std::size_t>(pick)].recordShed();
-            stats_.recordShed();
-            item->promise.set_exception(std::make_exception_ptr(
-                ShedError("serve::FleetServer: deadline expired before "
-                          "admission (shed)")));
-            finishOne();
+        const std::size_t m = static_cast<std::size_t>(pick);
+        ModelRuntime &rt = models_[m];
+        QueuedRequest item;
+        const Admission::Pop outcome = admission_.pop(m, item);
+        --pendingDepths_[m];
+        // Empty: only the driver pops, so this is defensive. Shed: the
+        // request spent its flat admission credit (shedding cannot be
+        // used to jump the fair queue); under cost charging it is free
+        // instead — it consumed no machine time.
+        if (outcome != Admission::Pop::Admit)
             continue;
-        }
-        // Frame widths were validated in enqueue().
-        const double theta = item->request.theta;
-        const std::size_t slot = scheduler_.admit(
-            static_cast<std::size_t>(pick), std::move(*item));
+        if (scheduler_.costCharging())
+            scheduler_.charge(
+                m, static_cast<double>(item.request.input.size()) *
+                       rt.spec.calibratedStepCostMs);
+        // Frame widths were validated at submit().
+        const double theta = item.request.theta;
+        const std::size_t slot = scheduler_.admit(m, std::move(item));
         rt.stepper->resetSlot(slot);
         if (rt.engine)
             rt.engine->admitSlot(slot, theta);
@@ -375,31 +352,17 @@ FleetServer::completeSlot(std::size_t slot)
     SlotState &state = scheduler_.slot(slot);
     const std::size_t model = state.model;
     ModelRuntime &rt = models_[model];
-    const Clock::time_point now = Clock::now();
-
-    Response response;
-    response.id = state.id;
-    response.steps = state.request.input.size();
-    response.theta = rt.engine ? rt.engine->slotTheta(slot) : 0.0;
-    response.reuseFraction =
+    const double theta = rt.engine ? rt.engine->slotTheta(slot)
+                                   : servedTheta(state.request);
+    const double reuse =
         rt.engine ? rt.engine->slotReuseFraction(slot) : 0.0;
-    response.queueMs = millis(state.admitTime - state.enqueueTime);
-    response.serviceMs = millis(now - state.admitTime);
-    response.latencyMs = millis(now - state.enqueueTime);
-    response.deadlineMet = state.request.deadlineMs <= 0.0 ||
-                           response.latencyMs <= state.request.deadlineMs;
-    response.output = std::move(state.output);
-
-    stats_.record(response);
-    modelStats_[model].record(response);
-    state.promise.set_value(std::move(response));
+    admission_.complete(model, state, theta, reuse);
     // Restore this model's default theta while the slot sits free, so a
     // stale override does not pin the engine's scalar decision path
     // (admission re-resets it anyway).
     if (rt.engine)
         rt.engine->setSlotTheta(slot, rt.engine->theta());
     scheduler_.release(slot);
-    finishOne();
 }
 
 } // namespace nlfm::serve

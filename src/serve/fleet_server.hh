@@ -40,6 +40,7 @@
 #include "common/parallel.hh"
 #include "memo/memo_batch.hh"
 #include "nn/network_stepper.hh"
+#include "serve/admission.hh"
 #include "serve/fleet_scheduler.hh"
 #include "serve/model_registry.hh"
 #include "serve/stats.hh"
@@ -72,6 +73,25 @@ struct FleetOptions
     /// admitted, instead of burning a slot on guaranteed-zero-goodput
     /// work. Sheds are counted per model and aggregate.
     bool shedExpired = false;
+
+    /// Per-model queue service order: FIFO (default) or earliest-
+    /// deadline-first (deadline-free requests stay FIFO among
+    /// themselves). EDF orders WITHIN each model's queue; fairness
+    /// across models is still the DRR scheduler's job.
+    QueuePolicy queuePolicy = QueuePolicy::Fifo;
+
+    /// Predictive shedding (see ServerOptions::shedPredicted and the
+    /// serve::Admission header): requires every registered model's
+    /// ModelSpec::calibratedStepCostMs > 0.
+    bool shedPredicted = false;
+
+    /// Charge DRR admissions by calibrated service cost (popped
+    /// request's steps x the model's calibratedStepCostMs) instead of
+    /// a flat 1 credit, so weights buy machine time instead of
+    /// admission count (FleetScheduler::setCostCharging). Requires
+    /// every model's calibratedStepCostMs > 0. Off by default: the
+    /// flat-credit path is bit-identical to PR 4.
+    bool costAwareAdmission = false;
 };
 
 /// Continuous-batching server for a fleet of resident models.
@@ -134,7 +154,7 @@ class FleetServer
 
   private:
     /// Per-model runtime: the stepper/engine pair sized to the shared
-    /// pool, the model's queue, and its spec.
+    /// pool, plus its spec (the model's queue lives in admission_).
     struct ModelRuntime
     {
         ModelSpec spec;
@@ -142,7 +162,6 @@ class FleetServer
         std::unique_ptr<memo::BatchMemoEngine> engine; ///< memoized
         std::unique_ptr<nn::DirectBatchEvaluator> exact; ///< or exact
         nn::BatchGateEvaluator *evaluator = nullptr;
-        std::unique_ptr<RequestQueue> queue;
     };
 
     /// One stepping task of a tick: a chunk of one model's active rows.
@@ -157,7 +176,6 @@ class FleetServer
     void admitPending();
     void tick();
     void completeSlot(std::size_t slot);
-    void finishOne();
 
     FleetOptions options_;
     std::vector<ModelRuntime> models_;
@@ -169,16 +187,11 @@ class FleetServer
     ServingStats stats_;                     ///< aggregate
     std::vector<ServingStats> modelStats_;   ///< per model
 
-    std::atomic<std::uint64_t> nextId_{0};
-    std::atomic<std::uint64_t> enqueued_{0};
-    std::atomic<std::uint64_t> finished_{0};
-    std::mutex drainMutex_;
-    std::condition_variable drainCv_;
-
-    /// Wakes the idle driver on enqueue/stop (the driver cannot block
-    /// on N queues at once, so it parks on this instead).
-    std::mutex wakeMutex_;
-    std::condition_variable wakeCv_;
+    /// Shared admission front end (serve/admission.hh): per-model
+    /// queues, validation, shedding policies, completion delivery,
+    /// drain bookkeeping, and the lost-wakeup-safe idle-driver wake
+    /// channel.
+    Admission admission_;
 
     // Driver-tick scratch (tickTasks_ is read by pool workers).
     std::vector<TickTask> tickTasks_;

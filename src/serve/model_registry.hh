@@ -52,8 +52,18 @@ struct ModelSpec
 
     /// Admission weight of the deficit-round-robin scheduler: with
     /// every model backlogged, admissions are granted proportionally to
-    /// weight. Must be > 0.
+    /// weight (to machine time under FleetOptions::costAwareAdmission).
+    /// Must be > 0.
     double weight = 1.0;
+
+    /// Calibrated per-step service cost of this model in milliseconds
+    /// (per sequence step, measured under fleet saturation — the
+    /// saturation probe in bench_multi_model_load reports it as
+    /// meanServiceMs / mean sequence length). Scales the predictive-
+    /// shedding estimate and the cost-aware DRR charge; required (> 0)
+    /// for FleetOptions::shedPredicted and ::costAwareAdmission, unused
+    /// otherwise.
+    double calibratedStepCostMs = 0.0;
 };
 
 /// Ordered catalog of resident models; the index returned by add() is

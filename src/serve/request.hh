@@ -31,6 +31,19 @@ class ShedError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/// Why admission shed a request (ServingStats breaks sheds down by
+/// reason).
+enum class ShedReason
+{
+    /// The deadline had already passed while the request queued
+    /// (ServerOptions/FleetOptions::shedExpired).
+    Expired,
+    /// The deadline is still ahead, but even the optimistic completion
+    /// estimate from the calibrated per-step cost misses it
+    /// (ServerOptions/FleetOptions::shedPredicted).
+    PredictedMiss,
+};
+
 /// Monotonic clock every serving timestamp uses.
 using Clock = std::chrono::steady_clock;
 
@@ -47,8 +60,11 @@ struct Request
     double theta = -1.0;
 
     /// Latency budget in milliseconds, measured enqueue -> completion.
-    /// 0 means no deadline. The server never drops late requests; the
-    /// deadline only feeds the goodput accounting (Response::deadlineMet).
+    /// 0 means no deadline. By default the deadline only feeds the
+    /// goodput accounting (Response::deadlineMet) and orders nothing;
+    /// the opt-in admission policies (queuePolicy = Edf, shedExpired,
+    /// shedPredicted — see docs/SERVING.md "Admission policies") use it
+    /// for scheduling and shedding.
     double deadlineMs = 0.0;
 };
 
@@ -66,7 +82,10 @@ struct Response
     /// Steps processed (== input length).
     std::size_t steps = 0;
 
-    /// The theta the request was served at (after defaulting).
+    /// The theta the request was served at (after defaulting). Exact
+    /// (non-memoized) models echo an explicit request theta for
+    /// per-theta accounting and report 0.0 — exact evaluation — for
+    /// the "server default" sentinel.
     double theta = 0.0;
 
     /// Fraction of neuron evaluations answered from the memo table

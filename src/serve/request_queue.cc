@@ -5,7 +5,19 @@
 namespace nlfm::serve
 {
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+Clock::time_point
+deadlineAt(const QueuedRequest &item)
+{
+    if (item.request.deadlineMs <= 0.0)
+        return Clock::time_point::max();
+    return item.enqueueTime +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double, std::milli>(
+                   item.request.deadlineMs));
+}
+
+RequestQueue::RequestQueue(std::size_t capacity, QueuePolicy policy)
+    : capacity_(capacity), policy_(policy)
 {
     nlfm_assert(capacity > 0, "zero-capacity request queue");
 }
@@ -45,11 +57,35 @@ RequestQueue::tryPop()
         std::lock_guard<std::mutex> lock(mutex_);
         if (items_.empty())
             return item;
-        item.emplace(std::move(items_.front()));
-        items_.pop_front();
+        auto best = items_.begin();
+        if (policy_ == QueuePolicy::Edf) {
+            // Strict < keeps ties (and the deadline-free tail, all at
+            // time_point::max()) in FIFO order.
+            Clock::time_point best_deadline = deadlineAt(*best);
+            for (auto it = std::next(best); it != items_.end(); ++it) {
+                const Clock::time_point deadline = deadlineAt(*it);
+                if (deadline < best_deadline) {
+                    best = it;
+                    best_deadline = deadline;
+                }
+            }
+        }
+        item.emplace(std::move(*best));
+        items_.erase(best);
     }
     notFull_.notify_one();
     return item;
+}
+
+std::size_t
+RequestQueue::stepsAhead(Clock::time_point deadline) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t steps = 0;
+    for (const QueuedRequest &item : items_)
+        if (policy_ == QueuePolicy::Fifo || deadlineAt(item) <= deadline)
+            steps += item.request.input.size();
+    return steps;
 }
 
 bool

@@ -7,9 +7,11 @@
 /// under open-loop load beyond capacity, client threads block, which is
 /// the behavior the serving_load bench measures as queueing latency.
 ///
-/// FIFO order is the scheduler's admission order: requests enter slots
-/// in exactly the order they left the queue, which keeps admission
-/// deterministic for a single client thread.
+/// Pop order is the scheduler's admission order and follows the queue's
+/// QueuePolicy: FIFO (the default — requests enter slots in exactly the
+/// order they were pushed, which keeps admission deterministic for a
+/// single client thread) or EDF (earliest absolute deadline first;
+/// deadline-free requests sort last and stay FIFO among themselves).
 
 #ifndef NLFM_SERVE_REQUEST_QUEUE_HH
 #define NLFM_SERVE_REQUEST_QUEUE_HH
@@ -34,14 +36,31 @@ struct QueuedRequest
     Clock::time_point enqueueTime{};
 };
 
-/// Bounded multi-producer/multi-consumer FIFO.
+/// Queue service order (ServerOptions/FleetOptions::queuePolicy).
+enum class QueuePolicy
+{
+    /// Pop in push order.
+    Fifo,
+    /// Pop the earliest absolute deadline (enqueue time + deadlineMs).
+    /// Deadline-free requests sort last and stay FIFO among
+    /// themselves; ties go to the earlier-queued request.
+    Edf,
+};
+
+/// Absolute deadline of a queued request; time_point::max() when the
+/// request carries none (EDF sorts those last).
+Clock::time_point deadlineAt(const QueuedRequest &item);
+
+/// Bounded multi-producer/multi-consumer queue with a pop policy.
 class RequestQueue
 {
   public:
     /// @param capacity maximum queued (not yet admitted) requests; > 0.
-    explicit RequestQueue(std::size_t capacity);
+    explicit RequestQueue(std::size_t capacity,
+                          QueuePolicy policy = QueuePolicy::Fifo);
 
     std::size_t capacity() const { return capacity_; }
+    QueuePolicy policy() const { return policy_; }
 
     /// Blocking push: waits while the queue is full. Returns false when
     /// the queue was closed (the item is then dropped — callers observe
@@ -51,8 +70,15 @@ class RequestQueue
     /// Non-blocking push; false when full or closed.
     bool tryPush(QueuedRequest &&item);
 
-    /// Non-blocking pop in FIFO order.
+    /// Non-blocking pop in policy order.
     std::optional<QueuedRequest> tryPop();
+
+    /// Total input steps of the queued requests the pop policy would
+    /// serve before a request pushed now with absolute deadline
+    /// @p deadline: everything queued under FIFO, only earlier-or-equal
+    /// deadlines under EDF. The optimistic "work ahead of you" term of
+    /// the predictive-shedding estimate (serve::Admission).
+    std::size_t stepsAhead(Clock::time_point deadline) const;
 
     /// Block until the queue is non-empty, closed, or @p timeout elapses.
     /// Returns true when an item is (probably) available.
@@ -67,6 +93,7 @@ class RequestQueue
 
   private:
     const std::size_t capacity_;
+    const QueuePolicy policy_;
     mutable std::mutex mutex_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;

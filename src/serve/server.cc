@@ -11,10 +11,29 @@ namespace nlfm::serve
 namespace
 {
 
-double
-millis(Clock::duration d)
+AdmissionConfig
+serverAdmissionConfig(const ServerOptions &options)
 {
-    return std::chrono::duration<double, std::milli>(d).count();
+    AdmissionConfig config;
+    config.server = "serve::Server";
+    config.queueCapacity = options.queueCapacity;
+    config.slots = options.slots;
+    config.queuePolicy = options.queuePolicy;
+    config.shedExpired = options.shedExpired;
+    config.shedPredicted = options.shedPredicted;
+    return config;
+}
+
+std::vector<AdmissionModel>
+serverAdmissionModel(const nn::RnnNetwork &network,
+                     const ServerOptions &options)
+{
+    AdmissionModel model;
+    model.inputLabel = "network input";
+    model.inputWidth = network.config().inputSize;
+    model.stepCostMs = options.calibratedStepCostMs;
+    model.stats = nullptr; // single model: the aggregate is the model
+    return {model};
 }
 
 } // namespace
@@ -22,9 +41,14 @@ millis(Clock::duration d)
 Server::Server(nn::RnnNetwork &network, nn::BinarizedNetwork *bnn,
                const ServerOptions &options)
     : network_(network), options_(options),
-      queue_(options.queueCapacity), scheduler_(options.slots),
-      stepper_(network, options.slots)
+      admission_(serverAdmissionConfig(options),
+                 serverAdmissionModel(network, options), stats_),
+      scheduler_(options.slots), stepper_(network, options.slots)
 {
+    nlfm_assert(!options_.shedPredicted ||
+                    options_.calibratedStepCostMs > 0.0,
+                "shedPredicted needs calibratedStepCostMs > 0 (the "
+                "estimate has no scale without it)");
     if (options_.memoized) {
         engine_ = std::make_unique<memo::BatchMemoEngine>(
             network, bnn, options_.memo);
@@ -63,46 +87,7 @@ Server::~Server()
 std::future<Response>
 Server::enqueue(Request request)
 {
-    QueuedRequest item;
-    item.id = nextId_.fetch_add(1);
-    item.request = std::move(request);
-    item.enqueueTime = Clock::now();
-    std::future<Response> future = item.promise.get_future();
-
-    // Validate client data here, on the client's thread: a malformed
-    // request fails its own future instead of reaching the driver (an
-    // assert there would take down every in-flight request).
-    for (const auto &frame : item.request.input) {
-        if (frame.size() != network_.config().inputSize) {
-            item.promise.set_exception(std::make_exception_ptr(
-                std::invalid_argument(
-                    "serve::Server: request frame width " +
-                    std::to_string(frame.size()) + " != network input " +
-                    std::to_string(network_.config().inputSize))));
-            return future;
-        }
-    }
-
-    enqueued_.fetch_add(1);
-    if (!queue_.push(std::move(item))) {
-        // Queue closed by stop(): fail the request explicitly instead of
-        // leaving a broken promise. (push only consumes the item on
-        // success, so the promise is still ours to fail.)
-        item.promise.set_exception(std::make_exception_ptr(
-            std::runtime_error("serve::Server stopped")));
-        finishOne();
-    }
-    return future;
-}
-
-void
-Server::finishOne()
-{
-    completed_.fetch_add(1);
-    {
-        std::lock_guard<std::mutex> lock(drainMutex_);
-    }
-    drainCv_.notify_all();
+    return admission_.submit(0, std::move(request));
 }
 
 Response
@@ -120,10 +105,7 @@ Server::collect(std::future<Response> &&future)
 void
 Server::drain()
 {
-    std::unique_lock<std::mutex> lock(drainMutex_);
-    drainCv_.wait(lock, [&] {
-        return completed_.load() >= enqueued_.load();
-    });
+    admission_.drain();
 }
 
 void
@@ -131,7 +113,7 @@ Server::stop()
 {
     if (stopping_.exchange(true))
         return;
-    queue_.close();
+    admission_.close();
     if (driver_.joinable())
         driver_.join();
 }
@@ -142,9 +124,9 @@ Server::driverLoop()
     while (true) {
         admitPending();
         if (scheduler_.activeCount() == 0) {
-            if (queue_.closed() && queue_.size() == 0)
+            if (admission_.drainedAndClosed())
                 break;
-            queue_.waitNonEmpty(std::chrono::milliseconds(2));
+            admission_.waitWork(std::chrono::milliseconds(2));
             continue;
         }
         tick();
@@ -155,25 +137,15 @@ void
 Server::admitPending()
 {
     while (scheduler_.hasFree()) {
-        auto item = queue_.tryPop();
-        if (!item)
+        QueuedRequest item;
+        const Admission::Pop outcome = admission_.pop(0, item);
+        if (outcome == Admission::Pop::Empty)
             break;
-        // Admission-time load shedding (opt-in): a request whose
-        // deadline already passed can only produce zero-goodput work —
-        // fail it now instead of burning a slot.
-        if (options_.shedExpired && item->request.deadlineMs > 0.0 &&
-            millis(Clock::now() - item->enqueueTime) >
-                item->request.deadlineMs) {
-            stats_.recordShed();
-            item->promise.set_exception(std::make_exception_ptr(
-                ShedError("serve::Server: deadline expired before "
-                          "admission (shed)")));
-            finishOne();
+        if (outcome == Admission::Pop::Shed)
             continue;
-        }
-        // Frame widths were validated in enqueue().
-        const double theta = item->request.theta;
-        const std::size_t slot = scheduler_.admit(std::move(*item));
+        // Frame widths were validated at submit().
+        const double theta = item.request.theta;
+        const std::size_t slot = scheduler_.admit(std::move(item));
         stepper_.resetSlot(slot);
         if (engine_)
             engine_->admitSlot(slot, theta);
@@ -247,23 +219,11 @@ void
 Server::completeSlot(std::size_t slot)
 {
     SlotState &state = scheduler_.slot(slot);
-    const Clock::time_point now = Clock::now();
-
-    Response response;
-    response.id = state.id;
-    response.steps = state.request.input.size();
-    response.theta = engine_ ? engine_->slotTheta(slot) : 0.0;
-    response.reuseFraction =
+    const double theta =
+        engine_ ? engine_->slotTheta(slot) : servedTheta(state.request);
+    const double reuse =
         engine_ ? engine_->slotReuseFraction(slot) : 0.0;
-    response.queueMs = millis(state.admitTime - state.enqueueTime);
-    response.serviceMs = millis(now - state.admitTime);
-    response.latencyMs = millis(now - state.enqueueTime);
-    response.deadlineMet = state.request.deadlineMs <= 0.0 ||
-                           response.latencyMs <= state.request.deadlineMs;
-    response.output = std::move(state.output);
-
-    stats_.record(response);
-    state.promise.set_value(std::move(response));
+    admission_.complete(0, state, theta, reuse);
     // Restore the default theta while the slot sits free: a stale
     // non-default value would keep counting against the engine's
     // uniform-theta vector decision path even with no such tenant
@@ -271,7 +231,6 @@ Server::completeSlot(std::size_t slot)
     if (engine_)
         engine_->setSlotTheta(slot, engine_->theta());
     scheduler_.release(slot);
-    finishOne();
 }
 
 } // namespace nlfm::serve

@@ -41,6 +41,7 @@
 #include "common/parallel.hh"
 #include "memo/memo_batch.hh"
 #include "nn/network_stepper.hh"
+#include "serve/admission.hh"
 #include "serve/scheduler.hh"
 #include "serve/stats.hh"
 
@@ -91,6 +92,27 @@ struct ServerOptions
     /// deadlines only feed accounting). Sheds are counted in
     /// ServingStats.
     bool shedExpired = false;
+
+    /// Queue service order: FIFO (default) or earliest-deadline-first
+    /// (deadline-free requests stay FIFO among themselves, behind any
+    /// deadlined request). See docs/SERVING.md, "Admission policies".
+    QueuePolicy queuePolicy = QueuePolicy::Fifo;
+
+    /// Predictive shedding: at enqueue and again at admission, shed
+    /// (ShedError, counted as StatsSnapshot::shedPredicted) requests
+    /// whose optimistic completion estimate already misses their
+    /// deadline — elapsed queueing + queue-ahead drain at the full
+    /// pool rate + own service at the calibrated per-step cost (the
+    /// serve::Admission header derives the formula). Requires
+    /// calibratedStepCostMs > 0.
+    bool shedPredicted = false;
+
+    /// Calibrated per-step service cost in milliseconds (per sequence
+    /// step of one request, measured under saturation) — the scale of
+    /// the predictive-shedding estimate. bench_serving_load derives it
+    /// from its closed-batch calibration (cal seconds * 1000 / slots /
+    /// steps); 0 = uncalibrated.
+    double calibratedStepCostMs = 0.0;
 };
 
 /// Continuous-batching inference server.
@@ -137,21 +159,22 @@ class Server
     void resetStats() { stats_.reset(); }
 
     /// Requests currently queued (not yet admitted).
-    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueDepth() const { return admission_.queueDepth(0); }
 
   private:
     void driverLoop();
     void admitPending();
     void tick();
     void completeSlot(std::size_t slot);
-    /// Count one request as finished (completed, shed, or rejected)
-    /// and wake drain() waiters.
-    void finishOne();
 
     nn::RnnNetwork &network_;
     ServerOptions options_;
 
-    RequestQueue queue_;
+    ServingStats stats_;
+    /// Shared admission front end (serve/admission.hh): the queue,
+    /// validation, shedding policies, completion delivery, and drain
+    /// bookkeeping — one model (id 0).
+    Admission admission_;
     Scheduler scheduler_;
     nn::NetworkStepper stepper_;
 
@@ -162,14 +185,6 @@ class Server
 
     std::unique_ptr<ThreadPool> pool_; ///< null when workers == 1
     std::size_t chunkSize_ = 64;       ///< effective per-tick chunk size
-
-    ServingStats stats_;
-
-    std::atomic<std::uint64_t> nextId_{0};
-    std::atomic<std::uint64_t> enqueued_{0};
-    std::atomic<std::uint64_t> completed_{0};
-    std::mutex drainMutex_;
-    std::condition_variable drainCv_;
 
     // Driver-tick scratch (touched by the driver thread; tickRanges_ is
     // read by pool workers inside a tick).

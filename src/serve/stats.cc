@@ -30,6 +30,7 @@ StatsSnapshot::report(const std::string &title,
     table.setHeader({"metric", "value"});
     table.addRow({"completed", std::to_string(completed)});
     table.addRow({"shed", std::to_string(shed)});
+    table.addRow({"shed (predicted)", std::to_string(shedPredicted)});
     table.addRow({"steps", std::to_string(totalSteps)});
     table.addRow({"wall s", formatDouble(wallSeconds)});
     table.addRow({"throughput seq/s", formatDouble(throughput())});
@@ -97,15 +98,21 @@ ServingStats::record(const Response &response)
 }
 
 void
-ServingStats::recordShed()
+ServingStats::recordShed(ShedReason reason)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = Clock::now();
     if (!started_) {
         started_ = true;
-        startTime_ = Clock::now();
-        lastCompletion_ = startTime_;
+        startTime_ = now;
     }
+    // A shed is an event of the measured interval: without advancing
+    // the interval's end here, a window that ends in sheds under-counts
+    // wallSeconds and overstates throughput/goodput.
+    lastCompletion_ = now;
     ++shed_;
+    if (reason == ShedReason::PredictedMiss)
+        ++shedPredicted_;
 }
 
 StatsSnapshot
@@ -116,6 +123,7 @@ ServingStats::snapshot() const
     snap.completed = completed_;
     snap.deadlineMet = deadlineMet_;
     snap.shed = shed_;
+    snap.shedPredicted = shedPredicted_;
     snap.totalSteps = totalSteps_;
     if (started_)
         snap.wallSeconds =
@@ -147,6 +155,7 @@ ServingStats::reset()
     reuseSum_ = 0.0;
     deadlineMet_ = 0;
     shed_ = 0;
+    shedPredicted_ = 0;
     totalSteps_ = 0;
 }
 

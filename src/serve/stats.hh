@@ -30,6 +30,10 @@ struct StatsSnapshot
     /// Requests rejected by admission-time load shedding (their futures
     /// fail with ShedError); not counted in completed.
     std::size_t shed = 0;
+    /// The subset of shed rejected by the predictive estimate
+    /// (ShedReason::PredictedMiss) rather than an already-expired
+    /// deadline.
+    std::size_t shedPredicted = 0;
     std::size_t totalSteps = 0;
     double wallSeconds = 0.0;
 
@@ -75,8 +79,10 @@ class ServingStats
     /// Record one completed request.
     void record(const Response &response);
 
-    /// Record one request rejected by admission-time load shedding.
-    void recordShed();
+    /// Record one request rejected by admission-time load shedding. A
+    /// shed ends the measured interval like a completion does (the
+    /// wall-clock denominator must cover windows that end in sheds).
+    void recordShed(ShedReason reason);
 
     /// Reduce everything recorded since start()/reset(). Wall time runs
     /// from start() to the last recorded completion.
@@ -98,6 +104,7 @@ class ServingStats
     double reuseSum_ = 0.0;
     std::size_t deadlineMet_ = 0;
     std::size_t shed_ = 0;
+    std::size_t shedPredicted_ = 0;
     std::size_t totalSteps_ = 0;
     std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
 };
