@@ -29,6 +29,12 @@ parseBenchArgs(int argc, const char *const *argv,
     cli.addBool("cost-aware", false,
                 "serving benches: also run the fleet sweep with EDF + "
                 "predictive shedding + cost-aware DRR admission");
+    cli.addBool("autopilot-ramp", false,
+                "serving benches: run the theta-autopilot load ramp "
+                "(fixed theta vs closed-loop controller)");
+    cli.addString("out", "",
+                  "JSON artifact path (empty = bench default; "
+                  "bench_multi_model_load writes nothing without it)");
     if (!cli.parse(argc, argv))
         std::exit(0);
 
@@ -41,6 +47,8 @@ parseBenchArgs(int argc, const char *const *argv,
     options.quick = cli.getBool("quick");
     options.admissionSweep = cli.getBool("admission-sweep");
     options.costAware = cli.getBool("cost-aware");
+    options.autopilotRamp = cli.getBool("autopilot-ramp");
+    options.out = cli.getString("out");
 
     const std::string networks = cli.getString("networks");
     if (networks == "all") {

@@ -43,6 +43,15 @@ struct BenchOptions
     /// EDF + predictive shedding + cost-aware DRR admission
     /// (bench_multi_model_load).
     bool costAware = false;
+    /// Serving benches only: run the theta-autopilot load ramp —
+    /// fixed-theta baseline vs closed-loop controller on seed-paired
+    /// arrivals (bench_serving_load; full mode writes BENCH_PR6.json).
+    bool autopilotRamp = false;
+    /// JSON artifact path. Empty = don't write one (benches that
+    /// default to writing, like bench_serving_load's full mode, say so
+    /// in their --help; bench_multi_model_load only writes when given
+    /// --out).
+    std::string out;
 };
 
 /**

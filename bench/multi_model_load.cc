@@ -20,8 +20,11 @@
  * Full mode additionally runs one overloaded point with 2:1:...
  * admission weights AND admission-time load shedding enabled, showing
  * (a) the weighted scheduler skews queueing toward the light-weight
- * models and (b) sheds are counted per model. Full mode writes
- * BENCH_PR4.json into the working directory.
+ * models and (b) sheds are counted per model. The JSON artifact is
+ * written only when --out <path> is given (it used to be rewritten
+ * unconditionally as BENCH_PR4.json in the working directory — a
+ * silent clobber of the checked-in artifact for anyone running the
+ * bench from the repo root).
  *
  * --cost-aware repeats the equal-weight sweep with the PR 5 admission
  * policies on (EDF + expired/predictive shedding + cost-aware DRR
@@ -432,8 +435,10 @@ main(int argc, char **argv)
                     policy_low_fairness);
     std::printf("\n");
 
-    if (!options.quick) {
-        std::FILE *json = std::fopen("BENCH_PR4.json", "w");
+    // Artifact gated on an explicit --out: running the bench must not
+    // silently rewrite a checked-in BENCH_PR4.json in the cwd.
+    if (!options.quick && !options.out.empty()) {
+        std::FILE *json = std::fopen(options.out.c_str(), "w");
         if (json) {
             std::fprintf(json, "{\n  \"pr\": 4,\n");
             std::fprintf(json,
@@ -510,7 +515,7 @@ main(int argc, char **argv)
                 "}\n}\n",
                 low_load_fairness, accounted ? "true" : "false");
             std::fclose(json);
-            std::printf("wrote BENCH_PR4.json\n");
+            std::printf("wrote %s\n", options.out.c_str());
         }
     }
 

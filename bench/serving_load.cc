@@ -26,8 +26,22 @@
  * fairness numbers into the curated, checked-in BENCH_PR5.json
  * (writing the curated name directly would clobber the merged fleet
  * section on every rerun).
+ *
+ * --autopilot-ramp runs the PR 6 theta-autopilot comparison: take the
+ * CANONICAL offline tune sweep (memo::sweepThresholds on the tune
+ * split, the same §3.2.1 calibration every figure bench uses) as the
+ * theta/reuse/loss curve, pin the fixed arm at the theta that sweep
+ * tunes for a conservative 1% loss target, then ramp offered load past
+ * capacity and serve the SAME seed-paired arrivals twice — once at
+ * that fixed theta, once with the closed-loop ThetaController free to
+ * raise the effective floor inside the curve's 5% accuracy budget.
+ * Reports goodput, shed counts, and DELIVERED accuracy (served-vs-
+ * exact decodes of the completed requests, scored with the workload's
+ * canonical loss metric) per arm; full mode writes BENCH_PR6.json (or
+ * --out <path>).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +49,7 @@
 
 #include "common/bench_common.hh"
 #include "common/report.hh"
+#include "metrics/accuracy.hh"
 #include "serve/server.hh"
 
 namespace
@@ -116,6 +131,80 @@ runLoad(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
     return server.stats();
 }
 
+/** One arm of the autopilot ramp: stats plus quality accounting. */
+struct RampResult
+{
+    serve::StatsSnapshot stats;
+    /// Canonical task loss (corpus WER / 100-BLEU / flip rate) of the
+    /// served decodes vs the exact-baseline decodes, over COMPLETED
+    /// requests only (shed requests deliver nothing, so they cannot
+    /// dilute it).
+    double deliveredLossPct = 0.0;
+    double meanServedTheta = 0.0;
+    double maxFloor = 0.0;
+};
+
+/**
+ * Like runLoad, but every request carries the "server default" theta
+ * sentinel (the autopilot floor is the only quality lever) and each
+ * completed response is decoded with the workload's canonical read-out
+ * and scored against the request's exact-baseline decode with the
+ * workload's canonical loss metric.
+ */
+RampResult
+runRamp(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+        const workloads::WorkloadEvaluator &evaluator,
+        const serve::ServerOptions &options,
+        std::span<const nn::Sequence> requests,
+        std::span<const metrics::TokenSeq> exact_decodes,
+        double offered, std::span<const double> deadlines,
+        std::uint64_t seed)
+{
+    serve::Server server(network, &bnn, options);
+    Rng rng(seed);
+
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(requests.size());
+    auto next_arrival = serve::Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const double gap_s =
+            -std::log(1.0 - rng.uniform()) / std::max(offered, 1e-9);
+        next_arrival += std::chrono::duration_cast<
+            serve::Clock::duration>(std::chrono::duration<double>(gap_s));
+        std::this_thread::sleep_until(next_arrival);
+
+        serve::Request request;
+        request.input = requests[i];
+        request.theta = -1.0;
+        request.deadlineMs = deadlines[i % deadlines.size()];
+        futures.push_back(server.enqueue(std::move(request)));
+    }
+    server.drain();
+
+    RampResult result;
+    std::vector<metrics::TokenSeq> served, exact;
+    double theta_sum = 0.0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            const serve::Response response =
+                serve::Server::collect(futures[i]);
+            theta_sum += response.theta;
+            served.push_back(evaluator.decodeSequence(response.output));
+            exact.push_back(exact_decodes[i]);
+        } catch (const serve::ShedError &) {
+        }
+    }
+    result.stats = server.stats();
+    result.maxFloor = server.maxThetaFloorSeen();
+    result.meanServedTheta =
+        served.empty()
+            ? 0.0
+            : theta_sum / static_cast<double>(served.size());
+    result.deliveredLossPct =
+        served.empty() ? 0.0 : evaluator.scoreLoss(exact, served);
+    return result;
+}
+
 } // namespace
 
 int
@@ -148,7 +237,12 @@ main(int argc, char **argv)
                 name.c_str(), spec.rnn.describe().c_str(), slots,
                 request_count, steps);
 
-    const auto workload = workloads::buildWorkload(spec, steps, slots);
+    // Corpus sized to the REQUEST set, not the slot pool: the autopilot
+    // ramp calibrates its accuracy curve on the tune split, and a
+    // slots-sized corpus (8 sequences x 20 steps = 160 frames) puts
+    // several loss points of sampling noise on every curve sample.
+    const auto workload =
+        workloads::buildWorkload(spec, steps, request_count);
     nn::RnnNetwork &network = *workload->network;
     nn::BinarizedNetwork &bnn = *workload->bnn;
 
@@ -415,18 +509,369 @@ main(int argc, char **argv)
         }
     }
 
+    // ------------------------------------------------------------------
+    // Theta-autopilot ramp (--autopilot-ramp): fixed default theta vs
+    // the closed-loop ThetaController on seed-paired arrivals.
+    bool autopilot_accounted = true;
+    if (options.autopilotRamp) {
+        // Offline curve: the CANONICAL tune sweep — serial memo engine
+        // on the tune split, scored with the workload's task metric.
+        // This is exactly the §3.2.1 calibration artifact every figure
+        // bench produces; the autopilot consumes it as its accuracy
+        // bound, and the ramp then verifies DELIVERED accuracy on the
+        // served (test-split) traffic with the same metric.
+        const double max_loss_pct = 5.0;
+        workloads::WorkloadEvaluator wl_evaluator(*workload);
+        const auto exact_outputs =
+            network.forwardBatchBaseline(requests);
+        std::vector<metrics::TokenSeq> exact_decodes;
+        exact_decodes.reserve(exact_outputs.size());
+        for (const auto &outputs : exact_outputs)
+            exact_decodes.push_back(
+                wl_evaluator.decodeSequence(outputs));
+
+        const auto curve_thetas =
+            bench::thetaGrid(spec, options.quick ? 5 : 13);
+        const std::vector<memo::TunePoint> curve_points =
+            bench::runSweep(wl_evaluator, memo::PredictorKind::Bnn,
+                            /*throttle=*/true, workloads::Split::Tune,
+                            curve_thetas);
+        TablePrinter curve_table("autopilot curve calibration (" +
+                                 name + ")");
+        curve_table.setHeader({"theta", "reuse", "loss %"});
+        for (const memo::TunePoint &point : curve_points)
+            curve_table.addRow({formatDouble(point.theta, 3),
+                                formatPercent(point.reuse),
+                                formatDouble(point.accuracyLoss, 2)});
+        std::printf("\n");
+        curve_table.print("serving_load_autopilot_curve");
+
+        // The fixed arm serves at the theta this sweep tunes for a
+        // conservative 1% loss target — the operating point a quality-
+        // first deployment would pick. The autopilot may spend the
+        // remaining budget only under pressure.
+        const bench::TunedPoint operating =
+            bench::selectFromSweep(curve_points, 1.0);
+        memo_options.theta = operating.theta;
+        server_options.memo.theta = operating.theta;
+
+        // The controller's bound is ADDITIONAL loss over that operating
+        // point, not absolute loss: the fixed arm's quality is what the
+        // deployment already delivers (including the predictor's
+        // irreducible substitution error at theta ~ 0, several loss
+        // points on the synthetic corpora), and the autopilot's promise
+        // is "at most max_loss_pct worse than that, and only under
+        // pressure". Feeding absolute losses to the prefix-conservative
+        // curve would charge that floor against the budget and strand
+        // the controller at the default on any workload whose metric
+        // has a noise floor.
+        std::vector<memo::TunePoint> relative_points = curve_points;
+        for (memo::TunePoint &point : relative_points)
+            point.accuracyLoss = std::max(
+                0.0, point.accuracyLoss - operating.tuneLoss);
+
+        const memo::TuneCurve curve =
+            memo::TuneCurve::fromPoints(relative_points);
+        const auto ceiling = curve.maxThetaForLoss(max_loss_pct);
+        if (!ceiling || *ceiling <= memo_options.theta) {
+            // No curve point above the default qualifies — the
+            // controller would have nothing to trade. Honest skip (the
+            // quick-mode topologies can land here), not a failure.
+            std::printf("autopilot ramp skipped: no curve headroom "
+                        "above theta %.3f within +%.1f%% loss\n",
+                        memo_options.theta, max_loss_pct);
+        } else {
+            std::printf("autopilot: fixed arm at tuned theta %.3f "
+                        "(%.2f%% tune loss at the 1%% target); budget "
+                        "+%.1f%% additional loss allows theta <= "
+                        "%.3f\n",
+                        operating.theta, operating.tuneLoss,
+                        max_loss_pct, *ceiling);
+
+            // Both arms share the full deadline-aware admission stack;
+            // the ONLY difference is the controller.
+            serve::ServerOptions fixed_options = server_options;
+            fixed_options.queuePolicy = serve::QueuePolicy::Edf;
+            fixed_options.shedExpired = true;
+            fixed_options.shedPredicted = true;
+            fixed_options.calibratedStepCostMs = step_cost_ms;
+
+            serve::ServerOptions auto_options = fixed_options;
+            auto_options.autopilot.enabled = true;
+            auto_options.autopilot.curve = curve;
+            auto_options.autopilot.maxAccuracyLoss = max_loss_pct;
+            // Fast control relative to the burst drain (tens of ms):
+            // the ladder must be climbable within one episode.
+            auto_options.autopilot.controlIntervalMs = 5.0;
+
+            struct RampPoint
+            {
+                double multiplier = 0.0;
+                double offered = 0.0;
+                RampResult fixed;
+                RampResult autopilot;
+            };
+            std::vector<RampPoint> ramp_points;
+            // Just past capacity through moderate overload (the ISSUE's
+            // 2-3x band). Deeper ramps (5x+) mostly measure which
+            // unsavable requests the shedder happened to pick — the
+            // controller's headroom is noise there.
+            const std::vector<double> ramp_multipliers =
+                options.quick ? std::vector<double>{1.5}
+                              : std::vector<double>{1.5, 2.0, 3.0};
+
+            // Tile the request set: a 40-request burst drains before a
+            // sustained backlog forms, which would leave the controller
+            // nothing to react to. Three times the set holds the queue
+            // past several control intervals.
+            const std::size_t tiles = options.quick ? 1 : 3;
+            std::vector<nn::Sequence> ramp_requests;
+            std::vector<metrics::TokenSeq> ramp_decodes;
+            ramp_requests.reserve(requests.size() * tiles);
+            ramp_decodes.reserve(requests.size() * tiles);
+            for (std::size_t tile = 0; tile < tiles; ++tile) {
+                ramp_requests.insert(ramp_requests.end(),
+                                     requests.begin(), requests.end());
+                ramp_decodes.insert(ramp_decodes.end(),
+                                    exact_decodes.begin(),
+                                    exact_decodes.end());
+            }
+            // Queue must hold the whole tiled burst: enqueue-side
+            // backpressure would throttle arrivals and break the
+            // open-loop contract of the ramp.
+            fixed_options.queueCapacity = std::max(
+                fixed_options.queueCapacity, ramp_requests.size());
+            auto_options.queueCapacity = fixed_options.queueCapacity;
+
+            // Deadline sized to the BURST, not to one request: ~60% of
+            // the fixed-theta drain time of the whole tiled set. Every
+            // request a faster drain pulls under the wire is a goodput
+            // win, so the deadline is sensitive to the reuse speedup
+            // across its whole range — unlike the admission sweep's
+            // per-request mix, whose tight half is unwinnable under a
+            // burst (lost at any theta) and whose loose half is never
+            // at risk.
+            const double ramp_deadline[] = {
+                0.6 * 1000.0 *
+                static_cast<double>(ramp_requests.size()) / capacity};
+            std::printf("ramp deadline: %.0f ms (0.6x the %zu-request "
+                        "burst drain at calibrated capacity)\n",
+                        ramp_deadline[0], ramp_requests.size());
+
+            TablePrinter ramp_table("fixed theta vs autopilot (" +
+                                    name + ")");
+            ramp_table.setHeader({"arm", "offered/s", "goodput/s",
+                                  "met", "shed", "loss %",
+                                  "mean theta", "max floor"});
+            // Replicated paired runs: wall-clock deadlines on a shared
+            // machine put tens of met-counts of noise on a single
+            // episode (a scheduler stall during one arm skews only that
+            // arm). Each load point runs rep_count seed-paired pairs
+            // and reports the pair with the MEDIAN autopilot-minus-
+            // fixed met delta — the representative outcome, immune to
+            // a single stalled episode on either side.
+            const std::size_t rep_count = options.quick ? 1 : 3;
+            for (const double multiplier : ramp_multipliers) {
+                RampPoint point;
+                point.multiplier = multiplier;
+                point.offered = capacity * multiplier;
+                std::vector<RampPoint> reps;
+                for (std::size_t rep = 0; rep < rep_count; ++rep) {
+                    RampPoint candidate = point;
+                    // Seed-paired arrivals: within a pair the goodput
+                    // difference is the controller, not Poisson luck.
+                    candidate.fixed = runRamp(
+                        network, bnn, wl_evaluator, fixed_options,
+                        ramp_requests, ramp_decodes, point.offered,
+                        ramp_deadline, seed);
+                    candidate.autopilot = runRamp(
+                        network, bnn, wl_evaluator, auto_options,
+                        ramp_requests, ramp_decodes, point.offered,
+                        ramp_deadline, seed);
+                    ++seed;
+                    reps.push_back(std::move(candidate));
+                }
+                std::sort(reps.begin(), reps.end(),
+                          [](const RampPoint &a, const RampPoint &b) {
+                              const auto delta =
+                                  [](const RampPoint &p) {
+                                      return static_cast<long>(
+                                                 p.autopilot.stats
+                                                     .deadlineMet) -
+                                             static_cast<long>(
+                                                 p.fixed.stats
+                                                     .deadlineMet);
+                                  };
+                              return delta(a) < delta(b);
+                          });
+                point = reps[reps.size() / 2];
+                for (const RampResult *arm :
+                     {&point.fixed, &point.autopilot}) {
+                    const serve::StatsSnapshot &s = arm->stats;
+                    ramp_table.addRow(
+                        {arm == &point.fixed ? "fixed" : "autopilot",
+                         formatDouble(point.offered, 2),
+                         formatDouble(s.goodput(), 2),
+                         std::to_string(s.deadlineMet),
+                         std::to_string(s.shed),
+                         formatDouble(arm->deliveredLossPct, 2),
+                         formatDouble(arm->meanServedTheta, 3),
+                         formatDouble(arm->maxFloor, 3)});
+                    if (s.completed + s.shed != ramp_requests.size())
+                        autopilot_accounted = false;
+                }
+                ramp_points.push_back(point);
+            }
+            ramp_table.print("serving_load_autopilot");
+
+            // Acceptance summary. Deadline-met COUNTS, not goodput()
+            // rates: the two arms' measured walls end at each arm's own
+            // last event, so the rate denominators differ (see
+            // tests/theta_controller_test.cc, ShedTruncatedWindow).
+            bool goodput_up = true, accuracy_ok = true,
+                 sheds_down = true;
+            for (const RampPoint &point : ramp_points) {
+                if (point.autopilot.stats.deadlineMet <
+                    point.fixed.stats.deadlineMet)
+                    goodput_up = false;
+                if (point.autopilot.deliveredLossPct >
+                    point.fixed.deliveredLossPct + max_loss_pct)
+                    accuracy_ok = false;
+                if (point.autopilot.stats.shed >
+                    point.fixed.stats.shed)
+                    sheds_down = false;
+                std::printf(
+                    "ramp %.1fx: deadline met %zu -> %zu, shed %zu -> "
+                    "%zu, delivered loss %.2f%% -> %.2f%% (budget "
+                    "+%.2f%%), max floor %.3f\n",
+                    point.multiplier, point.fixed.stats.deadlineMet,
+                    point.autopilot.stats.deadlineMet,
+                    point.fixed.stats.shed, point.autopilot.stats.shed,
+                    point.fixed.deliveredLossPct,
+                    point.autopilot.deliveredLossPct, max_loss_pct,
+                    point.autopilot.maxFloor);
+            }
+            std::printf("autopilot acceptance: goodput %s, accuracy "
+                        "%s, sheds %s\n",
+                        goodput_up ? "up" : "NOT up",
+                        accuracy_ok ? "within budget" : "VIOLATED",
+                        sheds_down ? "down" : "NOT down");
+
+            if (!options.quick) {
+                const std::string out_path =
+                    options.out.empty() ? "BENCH_PR6.json" : options.out;
+                std::FILE *json = std::fopen(out_path.c_str(), "w");
+                if (json) {
+                    std::fprintf(json, "{\n  \"pr\": 6,\n");
+                    std::fprintf(
+                        json,
+                        "  \"title\": \"Theta autopilot: SLO-driven "
+                        "accuracy/throughput control\",\n");
+                    std::fprintf(json,
+                                 "  \"bench\": \"bench_serving_load "
+                                 "--networks %s --steps %zu "
+                                 "--autopilot-ramp (full mode)\",\n",
+                                 name.c_str(), steps);
+                    std::fprintf(
+                        json,
+                        "  \"serving\": {\n    \"network\": \"%s\", "
+                        "\"slots\": %zu, \"requests\": %zu, "
+                        "\"ramp_requests\": %zu, \"steps\": %zu, "
+                        "\"default_theta\": %.2f,\n",
+                        name.c_str(), slots, requests.size(),
+                        ramp_requests.size(), steps,
+                        memo_options.theta);
+                    std::fprintf(
+                        json,
+                        "    \"calibration\": { \"capacity_seq_per_s\": "
+                        "%.2f, \"step_cost_ms\": %.3f, "
+                        "\"max_additional_loss_pct\": %.1f, "
+                        "\"operating_tune_loss_pct\": %.2f, "
+                        "\"theta_ceiling\": %.3f,\n      \"curve\": [",
+                        capacity, step_cost_ms, max_loss_pct,
+                        operating.tuneLoss, *ceiling);
+                    for (std::size_t i = 0; i < curve_points.size(); ++i)
+                        std::fprintf(
+                            json,
+                            "%s{ \"theta\": %.3f, \"reuse\": %.3f, "
+                            "\"loss_pct\": %.2f }",
+                            i == 0 ? "" : ", ", curve_points[i].theta,
+                            curve_points[i].reuse,
+                            curve_points[i].accuracyLoss);
+                    std::fprintf(json, "] },\n");
+                    std::fprintf(json, "    \"ramp\": [\n");
+                    for (std::size_t p = 0; p < ramp_points.size();
+                         ++p) {
+                        const RampPoint &point = ramp_points[p];
+                        const auto arm_json =
+                            [&](const char *label,
+                                const RampResult &arm,
+                                const char *tail) {
+                                std::fprintf(
+                                    json,
+                                    "        \"%s\": { "
+                                    "\"goodput_per_s\": %.2f, "
+                                    "\"deadline_met\": %zu, \"shed\": "
+                                    "%zu, \"shed_predicted\": %zu, "
+                                    "\"delivered_loss_pct\": %.2f, "
+                                    "\"mean_theta\": %.3f, "
+                                    "\"max_floor\": %.3f }%s\n",
+                                    label, arm.stats.goodput(),
+                                    arm.stats.deadlineMet,
+                                    arm.stats.shed,
+                                    arm.stats.shedPredicted,
+                                    arm.deliveredLossPct,
+                                    arm.meanServedTheta, arm.maxFloor,
+                                    tail);
+                            };
+                        std::fprintf(
+                            json,
+                            "      { \"multiplier\": %.1f, "
+                            "\"offered_per_s\": %.2f,\n",
+                            point.multiplier, point.offered);
+                        arm_json("fixed", point.fixed, ",");
+                        arm_json("autopilot", point.autopilot, " }");
+                        std::fprintf(
+                            json, "%s",
+                            p + 1 < ramp_points.size() ? ",\n" : "\n");
+                    }
+                    std::fprintf(json, "    ]\n  },\n");
+                    std::fprintf(
+                        json,
+                        "  \"acceptance\": { \"goodput_up\": %s, "
+                        "\"accuracy_within_budget\": %s, "
+                        "\"sheds_down\": %s, \"requirement\": "
+                        "\"autopilot deadline-met counts >= fixed "
+                        "theta on seed-paired arrivals; delivered "
+                        "canonical loss <= fixed arm's + max_loss_pct; "
+                        "sheds fall before the controller saturates; "
+                        "defaults (autopilot off) bit-identical to "
+                        "PR 5\" "
+                        "}\n}\n",
+                        goodput_up ? "true" : "false",
+                        accuracy_ok ? "true" : "false",
+                        sheds_down ? "true" : "false");
+                    std::fclose(json);
+                    std::printf("wrote %s\n", out_path.c_str());
+                }
+            }
+        }
+    }
+
     // Sanity line for the CI smoke run: every request completed (or,
     // in the policy sweep, was shed by an admission policy).
     std::size_t completed = 0;
     for (const LoadPoint &point : points)
         completed += point.stats.completed;
-    std::printf("completed %zu/%zu requests across %zu load points%s\n",
+    std::printf("completed %zu/%zu requests across %zu load points%s%s\n",
                 completed, points.size() * requests.size(),
                 points.size(),
                 admission_accounted ? "" : "; POLICY SWEEP LOST "
+                                           "REQUESTS",
+                autopilot_accounted ? "" : "; AUTOPILOT RAMP LOST "
                                            "REQUESTS");
     return completed == points.size() * requests.size() &&
-                   admission_accounted
+                   admission_accounted && autopilot_accounted
                ? 0
                : 1;
 }

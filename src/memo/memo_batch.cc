@@ -469,13 +469,19 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
 
     // The vector decision path covers the default configuration
     // (fixed-point CMP + throttling) over a dense slot range whose slots
-    // all sit at the engine-default theta (the serving path can give
-    // every slot its own threshold; mixed panels take the scalar loop,
-    // which reads the per-slot value), with theta small enough that
+    // all sit at ONE theta, with theta small enough that
     // (theta + 1) * mag cannot leave 64 bits; anything else — including
     // a forced non-AVX-512 probe ISA, so variant comparisons measure a
-    // genuinely ISA-free fallback — takes the scalar loop. Both make
-    // bit-identical decisions.
+    // genuinely ISA-free fallback — takes the scalar loop, which reads
+    // the per-slot value. Both make bit-identical decisions.
+    //
+    // Uniform means equal ACROSS THE PANEL, not equal to the engine
+    // default: a serving theta controller retunes whole panels away
+    // from the default (every admission inherits the current floor),
+    // and demanding the default here silently pushed every controlled
+    // run onto the scalar loop — reuse went up while throughput went
+    // down. Only genuinely mixed panels (floor mid-transition) pay the
+    // scalar path now.
 #if defined(__x86_64__)
     static const bool has_decide_isa =
         __builtin_cpu_supports("avx512f") > 0 &&
@@ -484,11 +490,18 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
         __builtin_cpu_supports("avx512vl") > 0; // commit's masked stores
     const bool dense =
         slots > 0 && slot_entry[slots - 1] - slot_entry[0] + 1 == slots;
+    const std::int64_t panel_theta_raw =
+        slots > 0 ? slotThetaRaw_[slot_entry[0]] : thetaQ_.raw();
+    bool uniform_theta = true;
+    if (nonDefaultThetaSlots_ != 0)
+        for (std::size_t i = 1; i < slots && uniform_theta; ++i)
+            uniform_theta =
+                slotThetaRaw_[slot_entry[i]] == panel_theta_raw;
     const bool vector_decide =
         has_decide_isa && fixed_point && throttle && dense &&
-        nonDefaultThetaSlots_ == 0 &&
+        uniform_theta &&
         tensor::bnnActiveIsa() == tensor::BnnIsa::Avx512 &&
-        thetaQ_.raw() <
+        panel_theta_raw <
             std::numeric_limits<std::int64_t>::max() /
                 (static_cast<std::int64_t>(2 * width + 2) << 16);
 #else
@@ -523,13 +536,13 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
             std::size_t miss_count = 0;
 #if defined(__x86_64__)
             if (vector_decide) {
-                // vector_decide implies every slot sits at the default
-                // theta, so the uniform thetaQ_ is exact here.
+                // vector_decide implies every slot sits at the same
+                // theta, so the panel-wide value is exact here.
                 miss_count = decideRowAvx512(
                     yb_row, slots, slot_entry[0], bnn_row, valid_row,
                     draw_row, y_row, reused_row, out_rows.data(), n,
-                    thetaQ_.raw(), thetaQ_, miss.data(),
-                    miss_blocks.data());
+                    panel_theta_raw, Q16::fromRaw(panel_theta_raw),
+                    miss.data(), miss_blocks.data());
             } else
 #endif
             for (std::size_t i = 0; i < slots; ++i) {

@@ -1,6 +1,8 @@
 #include "memo/threshold_tuner.hh"
 
-#include "common/logging.hh"
+#include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace nlfm::memo
 {
@@ -8,8 +10,15 @@ namespace nlfm::memo
 std::vector<double>
 linspace(double lo, double hi, std::size_t count)
 {
-    nlfm_assert(count >= 2, "linspace needs at least two points");
-    nlfm_assert(hi >= lo, "linspace range inverted");
+    // Hard errors in every build type: count == 1 would divide by zero
+    // below, and a silently degenerate grid poisons every curve built
+    // from it (the serving autopilot's safety bound included).
+    if (count < 2)
+        throw std::invalid_argument(
+            "linspace needs at least two points (got " +
+            std::to_string(count) + ")");
+    if (hi < lo)
+        throw std::invalid_argument("linspace range inverted");
     std::vector<double> out(count);
     const double step = (hi - lo) / static_cast<double>(count - 1);
     for (std::size_t i = 0; i < count; ++i)
@@ -35,10 +44,112 @@ selectThreshold(std::span<const TunePoint> points, double max_loss)
     for (const auto &point : points) {
         if (point.accuracyLoss > max_loss)
             continue;
-        if (!best || point.reuse > best->reuse)
+        // Explicit tie-break on equal reuse: lowest accuracy loss,
+        // then lowest theta. The previous "first encountered wins"
+        // rule only favored lower theta when the sweep happened to be
+        // ascending — a descending or shuffled sweep silently picked
+        // the riskier point.
+        if (!best || point.reuse > best->reuse ||
+            (point.reuse == best->reuse &&
+             (point.accuracyLoss < best->accuracyLoss ||
+              (point.accuracyLoss == best->accuracyLoss &&
+               point.theta < best->theta))))
             best = point;
     }
     return best;
+}
+
+TuneCurve
+TuneCurve::fromPoints(std::span<const TunePoint> points)
+{
+    if (points.empty())
+        throw std::invalid_argument("TuneCurve: empty sweep");
+    TuneCurve curve;
+    curve.points_.assign(points.begin(), points.end());
+    std::sort(curve.points_.begin(), curve.points_.end(),
+              [](const TunePoint &a, const TunePoint &b) {
+                  return a.theta < b.theta;
+              });
+    for (std::size_t i = 0; i < curve.points_.size(); ++i) {
+        const TunePoint &point = curve.points_[i];
+        if (point.theta < 0.0 || point.reuse < 0.0)
+            throw std::invalid_argument(
+                "TuneCurve: negative theta or reuse at sweep point " +
+                std::to_string(i));
+        if (i > 0 && point.theta == curve.points_[i - 1].theta)
+            throw std::invalid_argument(
+                "TuneCurve: duplicate theta " +
+                std::to_string(point.theta));
+    }
+    return curve;
+}
+
+std::optional<double>
+TuneCurve::maxThetaForLoss(double max_loss) const
+{
+    std::optional<double> best;
+    for (const auto &point : points_) {
+        if (point.accuracyLoss > max_loss)
+            break; // prefix rule: never step past a measured violation
+        best = point.theta;
+    }
+    return best;
+}
+
+std::vector<double>
+TuneCurve::ladderForLoss(double max_loss) const
+{
+    std::vector<double> ladder;
+    for (const auto &point : points_) {
+        if (point.accuracyLoss > max_loss)
+            break;
+        if (point.theta > 0.0)
+            ladder.push_back(point.theta);
+    }
+    return ladder;
+}
+
+namespace
+{
+
+double
+interpolate(std::span<const TunePoint> points, double theta,
+            double (*field)(const TunePoint &))
+{
+    if (theta <= points.front().theta)
+        return field(points.front());
+    if (theta >= points.back().theta)
+        return field(points.back());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (theta > points[i].theta)
+            continue;
+        const TunePoint &lo = points[i - 1];
+        const TunePoint &hi = points[i];
+        const double t = (theta - lo.theta) / (hi.theta - lo.theta);
+        return field(lo) + t * (field(hi) - field(lo));
+    }
+    return field(points.back()); // unreachable: theta < back() handled
+}
+
+} // namespace
+
+double
+TuneCurve::lossAt(double theta) const
+{
+    if (points_.empty())
+        throw std::logic_error("TuneCurve::lossAt on an empty curve");
+    return interpolate(
+        points_, theta,
+        +[](const TunePoint &p) { return p.accuracyLoss; });
+}
+
+double
+TuneCurve::reuseAt(double theta) const
+{
+    if (points_.empty())
+        throw std::logic_error("TuneCurve::reuseAt on an empty curve");
+    return interpolate(points_, theta,
+                       +[](const TunePoint &p) { return p.reuse; });
 }
 
 } // namespace nlfm::memo

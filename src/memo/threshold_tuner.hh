@@ -6,6 +6,14 @@
  * model by using the training set, obtaining accuracy and degree of
  * computation reuse for each threshold value ... We then select the value
  * that achieves highest computation reuse with the target accuracy loss."
+ *
+ * The API is free functions (linspace/sweepThresholds/selectThreshold)
+ * plus the TuneCurve artifact: a validated, theta-sorted snapshot of one
+ * sweep that consumers hold on to after tuning. The serving tier's theta
+ * autopilot (serve::ThetaController) walks a TuneCurve at run time to
+ * trade accuracy for reuse under load, so the curve's invariants —
+ * sorted, deduplicated, every point carrying the measured loss — are
+ * enforced at construction rather than trusted at use.
  */
 
 #ifndef NLFM_MEMO_THRESHOLD_TUNER_HH
@@ -33,7 +41,12 @@ struct TunePoint
  */
 using TuneExperiment = std::function<TunePoint(double theta)>;
 
-/** Evenly spaced grid of @p count values covering [lo, hi]. */
+/**
+ * Evenly spaced grid of @p count values covering [lo, hi]. Throws
+ * std::invalid_argument for count < 2 or hi < lo in every build type:
+ * a one-point "grid" would divide by zero, and the autopilot's safety
+ * bound is only as good as the grid the curve was swept on.
+ */
 std::vector<double> linspace(double lo, double hi, std::size_t count);
 
 /** Run the experiment at every theta in @p thetas. */
@@ -43,10 +56,72 @@ std::vector<TunePoint> sweepThresholds(const TuneExperiment &experiment,
 /**
  * Pick the point with the highest reuse whose accuracy loss is at most
  * @p max_loss; nullopt when no point qualifies (the caller should then
- * fall back to theta = 0, i.e. memoization off).
+ * fall back to theta = 0, i.e. memoization off). Ties on reuse break
+ * explicitly — lowest accuracy loss first, then lowest theta — so the
+ * selection no longer depends on the sweep's iteration order.
  */
 std::optional<TunePoint> selectThreshold(std::span<const TunePoint> points,
                                          double max_loss);
+
+/**
+ * Offline accuracy curve: the validated artifact of one threshold sweep
+ * (theta -> reuse, accuracy loss), sorted ascending by theta with
+ * duplicate thetas rejected. This is what a serving-tier controller
+ * loads instead of re-running sweepThresholds: build it once from tune-
+ * split measurements, then query the safety bound at run time.
+ *
+ * The bound is deliberately prefix-conservative: maxThetaForLoss walks
+ * points in ascending theta and stops at the FIRST point whose loss
+ * exceeds the budget, even if a later point dips back under it (noise
+ * on small corpora can make measured loss non-monotone). A controller
+ * bounded this way never schedules a theta beyond a measured violation.
+ */
+class TuneCurve
+{
+  public:
+    TuneCurve() = default;
+
+    /**
+     * Validate and sort one sweep's points into a curve. Throws
+     * std::invalid_argument on an empty span, duplicate thetas, or
+     * negative theta/reuse.
+     */
+    static TuneCurve fromPoints(std::span<const TunePoint> points);
+
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    /** Points sorted ascending by theta. */
+    std::span<const TunePoint> points() const { return points_; }
+
+    /**
+     * Largest swept theta whose qualifying prefix stays within
+     * @p max_loss (see the class comment for why prefix); nullopt when
+     * even the smallest swept theta exceeds the budget.
+     */
+    std::optional<double> maxThetaForLoss(double max_loss) const;
+
+    /**
+     * Ascending thetas of the qualifying prefix under @p max_loss —
+     * the ladder a controller steps through (possibly empty). Only
+     * strictly positive thetas are included: theta 0 is "floor off",
+     * not a rung.
+     */
+    std::vector<double> ladderForLoss(double max_loss) const;
+
+    /**
+     * Measured accuracy loss at @p theta, linearly interpolated between
+     * swept points; clamped to the curve's endpoints outside the swept
+     * range. Reporting only — bounds use maxThetaForLoss.
+     */
+    double lossAt(double theta) const;
+
+    /** Measured reuse at @p theta, interpolated like lossAt. */
+    double reuseAt(double theta) const;
+
+  private:
+    std::vector<TunePoint> points_;
+};
 
 } // namespace nlfm::memo
 

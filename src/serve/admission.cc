@@ -19,10 +19,8 @@ millis(Clock::duration d)
 } // namespace
 
 Admission::Admission(AdmissionConfig config,
-                     std::vector<AdmissionModel> models,
-                     ServingStats &aggregate)
-    : config_(std::move(config)), models_(std::move(models)),
-      aggregate_(aggregate)
+                     std::vector<AdmissionModel> models)
+    : config_(std::move(config)), models_(std::move(models))
 {
     nlfm_assert(!models_.empty(), "admission with zero models");
     nlfm_assert(config_.slots > 0, "admission over an empty slot pool");
@@ -30,12 +28,64 @@ Admission::Admission(AdmissionConfig config,
     for (std::size_t m = 0; m < models_.size(); ++m)
         queues_.push_back(std::make_unique<RequestQueue>(
             config_.queueCapacity, config_.queuePolicy));
+    thetaFloors_ =
+        std::make_unique<std::atomic<double>[]>(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        thetaFloors_[m].store(0.0, std::memory_order_relaxed);
+}
+
+void
+Admission::attachStats(ServingStats &aggregate,
+                       std::vector<ServingStats *> per_model)
+{
+    nlfm_assert(aggregate_ == nullptr,
+                "Admission::attachStats called twice");
+    nlfm_assert(per_model.empty() ||
+                    per_model.size() == models_.size(),
+                "attachStats per-model sink count != model count");
+    aggregate_ = &aggregate;
+    modelStats_ = std::move(per_model);
+}
+
+void
+Admission::setThetaFloor(std::size_t model, double floor)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    thetaFloors_[model].store(floor, std::memory_order_relaxed);
+}
+
+double
+Admission::thetaFloor(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return thetaFloors_[model].load(std::memory_order_relaxed);
+}
+
+double
+Admission::mergedTheta(std::size_t model, const Request &request) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    const double floor =
+        thetaFloors_[model].load(std::memory_order_relaxed);
+    // The base the floor must beat: an explicit per-request theta, or
+    // the model's default for the negative "server default" sentinel.
+    const double base = request.theta < 0.0
+                            ? models_[model].defaultTheta
+                            : request.theta;
+    // Not binding: hand back the request's own value VERBATIM —
+    // preserving the sentinel keeps the no-floor path bit-identical to
+    // a controller-free build (exact servers echo 0.0 for sentinels,
+    // engines substitute their default).
+    return floor > base ? floor : request.theta;
 }
 
 std::future<Response>
 Admission::submit(std::size_t model, Request request)
 {
     nlfm_assert(model < models_.size(), "model id out of range");
+    nlfm_assert(aggregate_ != nullptr,
+                "serve::Admission: attachStats() must be called "
+                "before the first submission");
     const AdmissionModel &info = models_[model];
 
     QueuedRequest item;
@@ -161,9 +211,12 @@ Admission::complete(std::size_t model, SlotState &state, double theta,
         response.latencyMs <= state.request.deadlineMs;
     response.output = std::move(state.output);
 
-    aggregate_.record(response);
-    if (models_[model].stats)
-        models_[model].stats->record(response);
+    nlfm_assert(aggregate_ != nullptr,
+                "serve::Admission: attachStats() must be called "
+                "before completions");
+    aggregate_->record(response);
+    if (!modelStats_.empty())
+        modelStats_[model]->record(response);
     state.promise.set_value(std::move(response));
     finishOne();
 }
@@ -234,9 +287,12 @@ void
 Admission::shed(QueuedRequest &&item, std::size_t model,
                 ShedReason reason)
 {
-    if (models_[model].stats)
-        models_[model].stats->recordShed(reason);
-    aggregate_.recordShed(reason);
+    nlfm_assert(aggregate_ != nullptr,
+                "serve::Admission: attachStats() must be called "
+                "before sheds can be recorded");
+    if (!modelStats_.empty())
+        modelStats_[model]->recordShed(reason);
+    aggregate_->recordShed(reason);
     item.promise.set_exception(std::make_exception_ptr(ShedError(
         config_.server +
         (reason == ShedReason::Expired

@@ -40,6 +40,21 @@
 ///    whole pool on the queue ahead, immediate service — so a request
 ///    the calibration says could still finish in time is never shed.
 ///
+/// Theta floors: the serving tier's autopilot (serve::ThetaController)
+/// publishes a per-model effective theta floor here, and the merge with
+/// each request's own theta happens in exactly one place —
+/// mergedTheta(). A floor of 0 (the default, and the only value when
+/// the autopilot is off) never binds, so requests pass through with
+/// their theta untouched, sentinel included.
+///
+/// Stats binding: the stats sinks are attached AFTER construction
+/// (attachStats), not taken by the constructor. The PR 5 shape took
+/// references into the owning server's ServingStats members, which
+/// silently required Admission to be declared after them — a reorder
+/// compiled fine and read uninitialized memory. Now construction is
+/// order-independent and the first submit()/pop()/complete() without
+/// attached stats panics loudly instead.
+///
 /// Threading: submit()/reject() run on client threads; pop()/complete()
 /// only on the driver; waitWork() parks the driver without the lost-
 /// wakeup window a bare condition_variable::wait_for has (a submission
@@ -97,9 +112,10 @@ struct AdmissionModel
     /// scales the predictive-shedding estimate. 0 = uncalibrated
     /// (asserted > 0 by the servers when shedPredicted is on).
     double stepCostMs = 0.0;
-    /// Per-model accounting, or null when only the aggregate exists
-    /// (single-model Server).
-    ServingStats *stats = nullptr;
+    /// The model's default serving theta (engine default; 0 for exact
+    /// models) — the base the theta-floor merge compares against for
+    /// requests that carry the "server default" sentinel.
+    double defaultTheta = 0.0;
 };
 
 /// Shared admission front end: per-model bounded queues plus the
@@ -117,12 +133,36 @@ class Admission
         Admit, ///< popped one request to admit
     };
 
-    /// @param aggregate fleet/server-wide accounting; per-model stats
-    ///                  (when distinct) ride in @p models.
-    Admission(AdmissionConfig config, std::vector<AdmissionModel> models,
-              ServingStats &aggregate);
+    /// Constructs without stats sinks: call attachStats() before the
+    /// first submission (panics otherwise), so the owning server's
+    /// member order cannot matter.
+    Admission(AdmissionConfig config,
+              std::vector<AdmissionModel> models);
+
+    /// Late-bind the accounting sinks. @p per_model is either empty
+    /// (no per-model breakdown — the single-model Server, where the
+    /// aggregate IS the model) or one sink per model. Must be called
+    /// exactly once, before any submission.
+    void attachStats(ServingStats &aggregate,
+                     std::vector<ServingStats *> per_model = {});
 
     std::size_t modelCount() const { return models_.size(); }
+
+    // --------------------------------------------------- theta floor
+
+    /// Publish the autopilot's effective floor for @p model (0 = no
+    /// floor). Driver thread; readers may be any thread.
+    void setThetaFloor(std::size_t model, double floor);
+
+    /// The floor currently applied at @p model.
+    double thetaFloor(std::size_t model) const;
+
+    /// THE per-request vs controller-floor merge (the only place it
+    /// happens): returns the theta @p request should be admitted at —
+    /// the request's own value (sentinel included) when the floor does
+    /// not exceed it (or the model default, for sentinel requests),
+    /// otherwise the floor. Never lowers what the request asked for.
+    double mergedTheta(std::size_t model, const Request &request) const;
 
     // ---------------------------------------------------- client side
 
@@ -184,8 +224,13 @@ class Admission
 
     AdmissionConfig config_;
     std::vector<AdmissionModel> models_;
-    ServingStats &aggregate_;
+    /// Stats sinks, late-bound by attachStats (see the file comment).
+    ServingStats *aggregate_ = nullptr;
+    std::vector<ServingStats *> modelStats_;
     std::vector<std::unique_ptr<RequestQueue>> queues_;
+    /// Per-model autopilot floors (0 = none). Array of atomics rather
+    /// than vector: atomics are not movable.
+    std::unique_ptr<std::atomic<double>[]> thetaFloors_;
 
     std::atomic<std::uint64_t> nextId_{0};
     std::atomic<std::uint64_t> submitted_{0};

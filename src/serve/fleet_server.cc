@@ -35,8 +35,7 @@ fleetAdmissionConfig(const FleetOptions &options)
 }
 
 std::vector<AdmissionModel>
-fleetAdmissionModels(const ModelRegistry &registry,
-                     std::vector<ServingStats> &model_stats)
+fleetAdmissionModels(const ModelRegistry &registry)
 {
     std::vector<AdmissionModel> models;
     models.reserve(registry.size());
@@ -46,7 +45,7 @@ fleetAdmissionModels(const ModelRegistry &registry,
         model.inputLabel = "model \"" + spec.name + "\" input";
         model.inputWidth = spec.network->config().inputSize;
         model.stepCostMs = spec.calibratedStepCostMs;
-        model.stats = &model_stats[m];
+        model.defaultTheta = spec.memoized ? spec.memo.theta : 0.0;
         models.push_back(std::move(model));
     }
     return models;
@@ -60,9 +59,16 @@ FleetServer::FleetServer(const ModelRegistry &registry,
       scheduler_(options.slots, registryWeights(registry)),
       modelStats_(registry.size()),
       admission_(fleetAdmissionConfig(options),
-                 fleetAdmissionModels(registry, modelStats_), stats_)
+                 fleetAdmissionModels(registry))
 {
     nlfm_assert(!registry.empty(), "fleet with zero models");
+    {
+        std::vector<ServingStats *> sinks;
+        sinks.reserve(modelStats_.size());
+        for (auto &stats : modelStats_)
+            sinks.push_back(&stats);
+        admission_.attachStats(stats_, std::move(sinks));
+    }
     if (options_.shedPredicted || options_.costAwareAdmission)
         for (std::size_t m = 0; m < registry.size(); ++m)
             nlfm_assert(registry.spec(m).calibratedStepCostMs > 0.0,
@@ -90,6 +96,13 @@ FleetServer::FleetServer(const ModelRegistry &registry,
             rt.exact = std::make_unique<nn::DirectBatchEvaluator>();
             rt.exact->beginBatch(options_.slots);
             rt.evaluator = rt.exact.get();
+        }
+        if (rt.spec.autopilot.enabled) {
+            nlfm_assert(rt.spec.memoized,
+                        "theta autopilot on exact model \"",
+                        rt.spec.name, "\" has no knob to turn");
+            rt.controller = std::make_unique<ThetaController>(
+                rt.spec.autopilot, rt.spec.memo.theta);
         }
         models_.push_back(std::move(rt));
     }
@@ -213,10 +226,20 @@ FleetServer::queueDepth(std::size_t model) const
     return admission_.queueDepth(model);
 }
 
+double
+FleetServer::maxThetaFloorSeen(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return models_[model].controller
+               ? models_[model].controller->maxFloorSeen()
+               : 0.0;
+}
+
 void
 FleetServer::driverLoop()
 {
     while (true) {
+        controllerTick();
         admitPending();
         if (scheduler_.activeCount() == 0) {
             if (admission_.drainedAndClosed())
@@ -230,6 +253,32 @@ FleetServer::driverLoop()
             continue;
         }
         tick();
+    }
+}
+
+void
+FleetServer::controllerTick()
+{
+    // Occupancy is pool-wide (slots are shared, so the capacity any
+    // controller can win back is fleet capacity); queue depth and the
+    // event counters are the model's own.
+    double occupancy = -1.0;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        ThetaController *controller = models_[m].controller.get();
+        if (controller == nullptr)
+            continue;
+        if (occupancy < 0.0)
+            occupancy =
+                static_cast<double>(scheduler_.activeCount()) /
+                static_cast<double>(options_.slots);
+        ThetaSignals signals;
+        signals.occupancy = occupancy;
+        signals.queueDepth = admission_.queueDepth(m);
+        const StatsCounters counters = modelStats_[m].counters();
+        signals.shed = counters.shed;
+        signals.deadlineMissed = counters.deadlineMissed();
+        if (controller->tick(signals))
+            admission_.setThetaFloor(m, controller->floor());
     }
 }
 
@@ -261,8 +310,9 @@ FleetServer::admitPending()
             scheduler_.charge(
                 m, static_cast<double>(item.request.input.size()) *
                        rt.spec.calibratedStepCostMs);
-        // Frame widths were validated at submit().
-        const double theta = item.request.theta;
+        // Frame widths were validated at submit(). Theta is the merge
+        // of the request's own value with this model's autopilot floor.
+        const double theta = admission_.mergedTheta(m, item.request);
         const std::size_t slot = scheduler_.admit(m, std::move(item));
         rt.stepper->resetSlot(slot);
         if (rt.engine)

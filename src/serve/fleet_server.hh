@@ -152,6 +152,17 @@ class FleetServer
     /// Requests currently queued (not yet admitted) at one model.
     std::size_t queueDepth(std::size_t model) const;
 
+    /// One model's current autopilot theta floor (0 when its autopilot
+    /// is off or idle). Any thread.
+    double thetaFloor(std::size_t model) const
+    {
+        return admission_.thetaFloor(model);
+    }
+
+    /// Highest floor @p model's autopilot reached since construction
+    /// (0 when off). Any thread.
+    double maxThetaFloorSeen(std::size_t model) const;
+
   private:
     /// Per-model runtime: the stepper/engine pair sized to the shared
     /// pool, plus its spec (the model's queue lives in admission_).
@@ -162,6 +173,8 @@ class FleetServer
         std::unique_ptr<memo::BatchMemoEngine> engine; ///< memoized
         std::unique_ptr<nn::DirectBatchEvaluator> exact; ///< or exact
         nn::BatchGateEvaluator *evaluator = nullptr;
+        /// Theta autopilot; null unless spec.autopilot.enabled.
+        std::unique_ptr<ThetaController> controller;
     };
 
     /// One stepping task of a tick: a chunk of one model's active rows.
@@ -173,6 +186,7 @@ class FleetServer
     };
 
     void driverLoop();
+    void controllerTick();
     void admitPending();
     void tick();
     void completeSlot(std::size_t slot);

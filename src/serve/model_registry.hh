@@ -23,6 +23,7 @@
 
 #include "memo/memo_engine.hh"
 #include "nn/binarized.hh"
+#include "serve/theta_controller.hh"
 
 namespace nlfm::serve
 {
@@ -64,6 +65,11 @@ struct ModelSpec
     /// for FleetOptions::shedPredicted and ::costAwareAdmission, unused
     /// otherwise.
     double calibratedStepCostMs = 0.0;
+
+    /// Per-model theta autopilot (serve/theta_controller.hh). Off by
+    /// default; enabling requires memoized and a usable accuracy curve.
+    /// Each model's controller reads its own queue/stats pressure.
+    ThetaAutopilotOptions autopilot{};
 };
 
 /// Ordered catalog of resident models; the index returned by add() is

@@ -32,7 +32,7 @@ serverAdmissionModel(const nn::RnnNetwork &network,
     model.inputLabel = "network input";
     model.inputWidth = network.config().inputSize;
     model.stepCostMs = options.calibratedStepCostMs;
-    model.stats = nullptr; // single model: the aggregate is the model
+    model.defaultTheta = options.memoized ? options.memo.theta : 0.0;
     return {model};
 }
 
@@ -42,13 +42,21 @@ Server::Server(nn::RnnNetwork &network, nn::BinarizedNetwork *bnn,
                const ServerOptions &options)
     : network_(network), options_(options),
       admission_(serverAdmissionConfig(options),
-                 serverAdmissionModel(network, options), stats_),
+                 serverAdmissionModel(network, options)),
       scheduler_(options.slots), stepper_(network, options.slots)
 {
     nlfm_assert(!options_.shedPredicted ||
                     options_.calibratedStepCostMs > 0.0,
                 "shedPredicted needs calibratedStepCostMs > 0 (the "
                 "estimate has no scale without it)");
+    nlfm_assert(!options_.autopilot.enabled || options_.memoized,
+                "theta autopilot on an exact server has no knob to "
+                "turn (requires memoized)");
+    // Single model: the aggregate IS the model, so no per-model sinks.
+    admission_.attachStats(stats_);
+    if (options_.autopilot.enabled)
+        controller_ = std::make_unique<ThetaController>(
+            options_.autopilot, options_.memo.theta);
     if (options_.memoized) {
         engine_ = std::make_unique<memo::BatchMemoEngine>(
             network, bnn, options_.memo);
@@ -122,6 +130,7 @@ void
 Server::driverLoop()
 {
     while (true) {
+        controllerTick();
         admitPending();
         if (scheduler_.activeCount() == 0) {
             if (admission_.drainedAndClosed())
@@ -134,6 +143,22 @@ Server::driverLoop()
 }
 
 void
+Server::controllerTick()
+{
+    if (!controller_)
+        return;
+    ThetaSignals signals;
+    signals.occupancy = static_cast<double>(scheduler_.activeCount()) /
+                        static_cast<double>(options_.slots);
+    signals.queueDepth = admission_.queueDepth(0);
+    const StatsCounters counters = stats_.counters();
+    signals.shed = counters.shed;
+    signals.deadlineMissed = counters.deadlineMissed();
+    if (controller_->tick(signals))
+        admission_.setThetaFloor(0, controller_->floor());
+}
+
+void
 Server::admitPending()
 {
     while (scheduler_.hasFree()) {
@@ -143,8 +168,11 @@ Server::admitPending()
             break;
         if (outcome == Admission::Pop::Shed)
             continue;
-        // Frame widths were validated at submit().
-        const double theta = item.request.theta;
+        // Frame widths were validated at submit(). Theta is the merge
+        // of the request's own value with the autopilot floor — the
+        // request's value verbatim (sentinel included) when no floor
+        // binds.
+        const double theta = admission_.mergedTheta(0, item.request);
         const std::size_t slot = scheduler_.admit(std::move(item));
         stepper_.resetSlot(slot);
         if (engine_)

@@ -44,6 +44,7 @@
 #include "serve/admission.hh"
 #include "serve/scheduler.hh"
 #include "serve/stats.hh"
+#include "serve/theta_controller.hh"
 
 namespace nlfm::serve
 {
@@ -113,6 +114,13 @@ struct ServerOptions
     /// from its closed-batch calibration (cal seconds * 1000 / slots /
     /// steps); 0 = uncalibrated.
     double calibratedStepCostMs = 0.0;
+
+    /// Theta autopilot (serve/theta_controller.hh): closed-loop theta
+    /// floor under SLO pressure, bounded by an offline accuracy curve.
+    /// Off by default — and off means bit-identical serving to a build
+    /// without the controller. Requires memoized (a floor on an exact
+    /// server has nothing to act on).
+    ThetaAutopilotOptions autopilot{};
 };
 
 /// Continuous-batching inference server.
@@ -161,8 +169,20 @@ class Server
     /// Requests currently queued (not yet admitted).
     std::size_t queueDepth() const { return admission_.queueDepth(0); }
 
+    /// The autopilot's current effective theta floor (0 when the
+    /// autopilot is off or idle). Any thread.
+    double thetaFloor() const { return admission_.thetaFloor(0); }
+
+    /// Highest floor the autopilot reached since construction (0 when
+    /// off). Any thread.
+    double maxThetaFloorSeen() const
+    {
+        return controller_ ? controller_->maxFloorSeen() : 0.0;
+    }
+
   private:
     void driverLoop();
+    void controllerTick();
     void admitPending();
     void tick();
     void completeSlot(std::size_t slot);
@@ -177,6 +197,10 @@ class Server
     Admission admission_;
     Scheduler scheduler_;
     nn::NetworkStepper stepper_;
+
+    /// Theta autopilot; null unless options.autopilot.enabled. Ticked
+    /// by the driver loop, floor published through admission_.
+    std::unique_ptr<ThetaController> controller_;
 
     /// Exactly one of engine_/exact_ serves, per options_.memoized.
     std::unique_ptr<memo::BatchMemoEngine> engine_;

@@ -29,6 +29,7 @@ StatsSnapshot::report(const std::string &title,
     TablePrinter table(title);
     table.setHeader({"metric", "value"});
     table.addRow({"completed", std::to_string(completed)});
+    table.addRow({"deadline met", std::to_string(deadlineMet)});
     table.addRow({"shed", std::to_string(shed)});
     table.addRow({"shed (predicted)", std::to_string(shedPredicted)});
     table.addRow({"steps", std::to_string(totalSteps)});
@@ -140,6 +141,18 @@ ServingStats::snapshot() const
         snap.p99LatencyMs = percentile(latencyMs_, 99.0);
     }
     return snap;
+}
+
+StatsCounters
+ServingStats::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StatsCounters out;
+    out.completed = completed_;
+    out.deadlineMet = deadlineMet_;
+    out.shed = shed_;
+    out.shedPredicted = shedPredicted_;
+    return out;
 }
 
 void

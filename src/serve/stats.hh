@@ -13,6 +13,7 @@
 #ifndef NLFM_SERVE_STATS_HH
 #define NLFM_SERVE_STATS_HH
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -21,6 +22,23 @@
 
 namespace nlfm::serve
 {
+
+/// The event counters alone — what a per-tick controller reads.
+/// Cumulative since start()/reset(), monotone within a window.
+struct StatsCounters
+{
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineMet = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t shedPredicted = 0;
+
+    /// Completed-but-late: the deadline-miss half of the pressure
+    /// signal (sheds are the other half).
+    std::uint64_t deadlineMissed() const
+    {
+        return completed - deadlineMet;
+    }
+};
 
 /// Reduced view of a serving interval.
 struct StatsSnapshot
@@ -87,6 +105,11 @@ class ServingStats
     /// Reduce everything recorded since start()/reset(). Wall time runs
     /// from start() to the last recorded completion.
     StatsSnapshot snapshot() const;
+
+    /// Just the cumulative event counters — no percentile reduction
+    /// (snapshot() sorts the latency reservoir, far too expensive for a
+    /// control tick that fires every few milliseconds).
+    StatsCounters counters() const;
 
     void reset();
 

@@ -1,0 +1,88 @@
+#include "serve/theta_controller.hh"
+
+#include <stdexcept>
+
+namespace nlfm::serve
+{
+
+ThetaController::ThetaController(const ThetaAutopilotOptions &options,
+                                 double base_theta)
+    : options_(options)
+{
+    if (!options_.enabled)
+        throw std::invalid_argument(
+            "ThetaController constructed with autopilot disabled");
+    if (options_.curve.empty())
+        throw std::invalid_argument(
+            "theta autopilot needs an offline accuracy curve "
+            "(memo::TuneCurve::fromPoints of a sweep)");
+    if (options_.lowerOccupancy > options_.raiseOccupancy)
+        throw std::invalid_argument(
+            "theta autopilot: lowerOccupancy above raiseOccupancy "
+            "(inverted hysteresis band would chatter)");
+    for (const double theta :
+         options_.curve.ladderForLoss(options_.maxAccuracyLoss))
+        if (theta > base_theta)
+            ladder_.push_back(theta);
+    if (ladder_.empty())
+        throw std::invalid_argument(
+            "theta autopilot: no curve point above the default theta "
+            "qualifies under maxAccuracyLoss — the controller would "
+            "have nothing to trade");
+}
+
+bool
+ThetaController::saturated() const
+{
+    return level_ == ladder_.size();
+}
+
+bool
+ThetaController::tick(const ThetaSignals &signals)
+{
+    const Clock::time_point now = Clock::now();
+    if (decided_) {
+        const double since_ms =
+            std::chrono::duration<double, std::milli>(now -
+                                                      lastDecision_)
+                .count();
+        if (since_ms < options_.controlIntervalMs)
+            return false;
+    }
+
+    // Differenced event counters: what went wrong since the last
+    // decision. Before the first decision the baseline is zero, so
+    // pre-existing sheds count as pressure — which is correct for a
+    // controller attached to an already-struggling server.
+    const std::uint64_t sheds = signals.shed - lastSignals_.shed;
+    const std::uint64_t misses =
+        signals.deadlineMissed - lastSignals_.deadlineMissed;
+    lastSignals_ = signals;
+    lastDecision_ = now;
+    decided_ = true;
+
+    const bool pressure =
+        sheds > 0 || misses > 0 ||
+        (signals.occupancy >= options_.raiseOccupancy &&
+         signals.queueDepth >= options_.raiseQueueDepth);
+    const bool slack = sheds == 0 && misses == 0 &&
+                       signals.queueDepth == 0 &&
+                       signals.occupancy <= options_.lowerOccupancy;
+
+    std::size_t level = level_;
+    if (pressure && level < ladder_.size())
+        ++level;
+    else if (slack && level > 0)
+        --level;
+    if (level == level_)
+        return false;
+
+    level_ = level;
+    const double floor = level_ == 0 ? 0.0 : ladder_[level_ - 1];
+    floor_.store(floor, std::memory_order_relaxed);
+    if (floor > maxFloor_.load(std::memory_order_relaxed))
+        maxFloor_.store(floor, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace nlfm::serve

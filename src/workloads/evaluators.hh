@@ -94,12 +94,28 @@ class WorkloadEvaluator
 
     const Workload &workload() const { return workload_; }
 
-  private:
-    const std::vector<nn::Sequence> &inputs(Split split) const;
+    /**
+     * Decode ONE raw output sequence with the workload's canonical
+     * read-out (smoothed frame argmax for speech/translation, pooled
+     * argmax for sentiment). Public so serving-side callers can score
+     * delivered outputs (serve::Response::output is exactly such a
+     * sequence) with the same labels the tune sweeps use.
+     */
     metrics::TokenSeq decodeSequence(const nn::Sequence &outputs) const;
+
+    /**
+     * Score a hypothesis decode set against a reference set with the
+     * workload's canonical loss metric (corpus WER / 100-BLEU / flip
+     * rate). Public for the same reason as decodeSequence(): serving
+     * benches score delivered outputs with the exact metric the tune
+     * sweeps calibrate against, not an ad-hoc proxy.
+     */
     double scoreLoss(const std::vector<metrics::TokenSeq> &reference,
                      const std::vector<metrics::TokenSeq> &hypothesis)
         const;
+
+  private:
+    const std::vector<nn::Sequence> &inputs(Split split) const;
 
     Workload &workload_;
     std::vector<metrics::TokenSeq> baseline_[2];

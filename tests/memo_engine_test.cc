@@ -401,6 +401,53 @@ TEST(ThresholdTunerTest, NoneQualifiesGivesNullopt)
     EXPECT_FALSE(selectThreshold(points, 1.0).has_value());
 }
 
+TEST(ThresholdTunerTest, LinspaceRejectsDegenerateGrids)
+{
+    // A one-point "grid" would divide by zero computing the step, and
+    // a single-sample curve gives the autopilot's safety bound nothing
+    // to interpolate. Hard error in every build type.
+    EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+    EXPECT_THROW(linspace(1.0, 0.0, 5), std::invalid_argument);
+
+    // Two points is the smallest valid grid: exactly the endpoints.
+    const auto grid = linspace(0.25, 0.75, 2);
+    ASSERT_EQ(grid.size(), 2u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.25);
+    EXPECT_DOUBLE_EQ(grid.back(), 0.75);
+}
+
+TEST(ThresholdTunerTest, SelectTieBreaksAreOrderIndependent)
+{
+    // Equal reuse: lower accuracy loss wins.
+    const std::vector<TunePoint> loss_tie = {
+        {0.3, 0.50, 0.9},
+        {0.1, 0.50, 0.2},
+        {0.2, 0.50, 0.5},
+    };
+    auto best = selectThreshold(loss_tie, 1.0);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->theta, 0.1);
+
+    // Equal reuse AND loss: lower theta wins — the cheaper-to-miss
+    // threshold when the sweep cannot tell the points apart.
+    const std::vector<TunePoint> full_tie = {
+        {0.3, 0.50, 0.5},
+        {0.1, 0.50, 0.5},
+        {0.2, 0.50, 0.5},
+    };
+    best = selectThreshold(full_tie, 1.0);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->theta, 0.1);
+
+    // Same winner when the sweep arrives in the opposite order.
+    const std::vector<TunePoint> reversed(full_tie.rbegin(),
+                                          full_tie.rend());
+    best = selectThreshold(reversed, 1.0);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->theta, 0.1);
+}
+
 TEST(ThresholdTunerTest, SweepRunsEveryTheta)
 {
     std::vector<double> seen;
