@@ -32,6 +32,9 @@ parseBenchArgs(int argc, const char *const *argv,
     cli.addBool("autopilot-ramp", false,
                 "serving benches: run the theta-autopilot load ramp "
                 "(fixed theta vs closed-loop controller)");
+    cli.addBool("session-turns", false,
+                "serving benches: run the multi-turn session study "
+                "(warm vs cold arms of one turn schedule)");
     cli.addString("out", "",
                   "JSON artifact path (empty = bench default; "
                   "bench_multi_model_load writes nothing without it)");
@@ -48,6 +51,7 @@ parseBenchArgs(int argc, const char *const *argv,
     options.admissionSweep = cli.getBool("admission-sweep");
     options.costAware = cli.getBool("cost-aware");
     options.autopilotRamp = cli.getBool("autopilot-ramp");
+    options.sessionTurns = cli.getBool("session-turns");
     options.out = cli.getString("out");
 
     const std::string networks = cli.getString("networks");

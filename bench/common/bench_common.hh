@@ -47,6 +47,11 @@ struct BenchOptions
     /// fixed-theta baseline vs closed-loop controller on seed-paired
     /// arrivals (bench_serving_load; full mode writes BENCH_PR6.json).
     bool autopilotRamp = false;
+    /// Serving benches only: run the multi-turn session study — warm
+    /// (session-tagged) vs cold arms of the same turn schedule on a
+    /// two-model fleet, reporting reuse uplift and delivered-loss
+    /// delta (bench_serving_load; full mode writes BENCH_PR8.json).
+    bool sessionTurns = false;
     /// JSON artifact path. Empty = don't write one (benches that
     /// default to writing, like bench_serving_load's full mode, say so
     /// in their --help; bench_multi_model_load only writes when given

@@ -39,6 +39,17 @@
  * exact decodes of the completed requests, scored with the workload's
  * canonical loss metric) per arm; full mode writes BENCH_PR6.json (or
  * --out <path>).
+ *
+ * --session-turns runs the PR 8 warm-start study: a DeepSpeech2 + IMDB
+ * fleet serves multi-turn "conversations" (each test sequence split
+ * into contiguous turns, submitted turn-by-turn with a barrier between
+ * rounds) twice on the identical schedule — once with every request
+ * session-tagged (turns after the first warm-resume the stored memo
+ * table + recurrent state) and once untagged (every turn starts cold,
+ * the pre-session behavior). Reports per-model reuse uplift and the
+ * DELIVERED loss of the concatenated turn outputs against the
+ * uninterrupted exact-baseline decode of each full session; full mode
+ * writes BENCH_PR8.json (or --out <path>).
  */
 
 #include <algorithm>
@@ -48,8 +59,10 @@
 #include <thread>
 
 #include "common/bench_common.hh"
+#include "common/logging.hh"
 #include "common/report.hh"
 #include "metrics/accuracy.hh"
+#include "serve/fleet_server.hh"
 #include "serve/server.hh"
 
 namespace
@@ -203,6 +216,114 @@ runRamp(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
     result.deliveredLossPct =
         served.empty() ? 0.0 : evaluator.scoreLoss(exact, served);
     return result;
+}
+
+/** One resident model of the --session-turns study. */
+struct SessionModel
+{
+    std::string name;
+    std::unique_ptr<workloads::Workload> workload;
+    std::unique_ptr<workloads::WorkloadEvaluator> evaluator;
+    /// Full-length session sequences (one session per test sequence).
+    std::vector<nn::Sequence> sessions;
+    /// sessions split into contiguous turns: turns[session][turn].
+    std::vector<std::vector<nn::Sequence>> turns;
+    /// Exact-baseline decode of each full (uninterrupted) session.
+    std::vector<metrics::TokenSeq> exactDecodes;
+};
+
+/** One arm (warm or cold) of the session study. */
+struct SessionArm
+{
+    serve::FleetStatsSnapshot stats;
+    /// Per-model canonical loss of the concatenated turn decodes vs
+    /// the uninterrupted exact-baseline decodes.
+    std::vector<double> deliveredLossPct;
+    std::uint64_t evictions = 0;
+    bool accounted = true;
+};
+
+/**
+ * Serve every session's turns through the fleet on a round-barrier
+ * schedule: round t enqueues turn t of EVERY session (both models
+ * interleaved, so panels mix models exactly like real fleet traffic)
+ * and collects all of round t before round t+1 begins. Turn order
+ * within a session is what the warm-start contract requires, and the
+ * schedule is identical across arms, so the warm/cold difference is
+ * the session store — not the workload or the slot pool.
+ */
+SessionArm
+runSessionArm(std::vector<SessionModel> &models,
+              const serve::FleetOptions &options, bool warm)
+{
+    serve::ModelRegistry registry;
+    for (const SessionModel &model : models) {
+        serve::ModelSpec spec;
+        spec.name = model.name;
+        spec.network = model.workload->network.get();
+        spec.bnn = model.workload->bnn.get();
+        spec.memo.predictor = memo::PredictorKind::Bnn;
+        spec.memo.theta = 0.05;
+        registry.add(spec);
+    }
+    serve::FleetServer fleet(registry, options);
+
+    const std::size_t turn_count = models.front().turns.front().size();
+    std::vector<std::vector<nn::Sequence>> served(models.size());
+    for (std::size_t m = 0; m < models.size(); ++m)
+        served[m].resize(models[m].sessions.size());
+
+    std::size_t expected = 0;
+    for (std::size_t t = 0; t < turn_count; ++t) {
+        std::vector<std::future<serve::Response>> futures;
+        std::vector<std::pair<std::size_t, std::size_t>> origin;
+        for (std::size_t m = 0; m < models.size(); ++m) {
+            for (std::size_t s = 0; s < models[m].turns.size(); ++s) {
+                serve::Request request;
+                request.input = models[m].turns[s][t];
+                // The SAME id on both models, deliberately: sessions
+                // are keyed (model, id), so shared ids must never
+                // leak state across models. A leak would trip the
+                // steppers' shape asserts (the models differ in
+                // width) before it could corrupt a decode.
+                if (warm)
+                    request.sessionId =
+                        "session-" + std::to_string(s);
+                futures.push_back(fleet.enqueue(m, std::move(request)));
+                origin.emplace_back(m, s);
+            }
+        }
+        // Barrier: a session's next turn may only be submitted once
+        // this turn's future resolved (the store's checkout contract).
+        // Completion delivery happens after the snapshot is stored, so
+        // the resolved future guarantees the state is back in the
+        // store.
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            const serve::Response response =
+                serve::FleetServer::collect(futures[i]);
+            const auto [m, s] = origin[i];
+            served[m][s].insert(served[m][s].end(),
+                                response.output.begin(),
+                                response.output.end());
+            ++expected;
+        }
+    }
+    fleet.drain();
+
+    SessionArm arm;
+    arm.stats = fleet.fleetStats();
+    arm.evictions = fleet.sessionEvictions();
+    arm.accounted = arm.stats.aggregate.completed == expected;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        std::vector<metrics::TokenSeq> decodes;
+        decodes.reserve(served[m].size());
+        for (const nn::Sequence &outputs : served[m])
+            decodes.push_back(
+                models[m].evaluator->decodeSequence(outputs));
+        arm.deliveredLossPct.push_back(models[m].evaluator->scoreLoss(
+            models[m].exactDecodes, decodes));
+    }
+    return arm;
 }
 
 } // namespace
@@ -858,20 +979,223 @@ main(int argc, char **argv)
         }
     }
 
+    // ------------------------------------------------------------------
+    // Multi-turn session study (--session-turns): warm (session-
+    // tagged) vs cold arms of the identical turn schedule on a
+    // DeepSpeech2 + IMDB fleet.
+    bool session_accounted = true;
+    if (options.sessionTurns) {
+        const std::size_t session_count = options.quick ? 3 : 10;
+        const std::size_t turn_count = 3;
+        const std::size_t session_slots = options.quick ? 4 : 8;
+        const std::vector<std::string> session_names = {"DeepSpeech2",
+                                                        "IMDB"};
+        std::printf("\nsession study: %zu sessions/model x %zu turns "
+                    "(%zu steps/session), %zu-slot fleet\n",
+                    session_count, turn_count, steps, session_slots);
+
+        std::vector<SessionModel> session_models;
+        for (const std::string &model_name : session_names) {
+            SessionModel model;
+            model.name = model_name;
+            model.workload = workloads::buildWorkload(
+                workloads::specByName(model_name), steps,
+                session_count);
+            model.evaluator =
+                std::make_unique<workloads::WorkloadEvaluator>(
+                    *model.workload);
+            model.sessions = model.workload->testInputs;
+            // The uninterrupted baseline: exact forward over each FULL
+            // session. Both arms are scored against it, so the cold
+            // arm's extra loss is exactly the cost of restarting the
+            // recurrent state at every turn boundary.
+            const auto exact_outputs =
+                model.workload->network->forwardBatchBaseline(
+                    model.sessions);
+            for (const auto &outputs : exact_outputs)
+                model.exactDecodes.push_back(
+                    model.evaluator->decodeSequence(outputs));
+            // Contiguous turns; the last takes the remainder.
+            for (const nn::Sequence &session : model.sessions) {
+                nlfm_assert(session.size() >= turn_count,
+                            "session shorter than the turn count");
+                const std::size_t base_len =
+                    session.size() / turn_count;
+                std::vector<nn::Sequence> turns;
+                std::size_t begin = 0;
+                for (std::size_t t = 0; t < turn_count; ++t) {
+                    const std::size_t len = t + 1 == turn_count
+                                                ? session.size() - begin
+                                                : base_len;
+                    turns.emplace_back(
+                        session.begin() + static_cast<long>(begin),
+                        session.begin() +
+                            static_cast<long>(begin + len));
+                    begin += len;
+                }
+                model.turns.push_back(std::move(turns));
+            }
+            session_models.push_back(std::move(model));
+        }
+
+        serve::FleetOptions session_options;
+        session_options.slots = session_slots;
+        session_options.queueCapacity =
+            std::max<std::size_t>(16, session_count);
+        // Capacity sized to the working set: the study measures the
+        // warm-start mechanism, not LRU pressure (that contract is
+        // pinned by tests/session_test.cc, EvictedSessionFallsBackCold).
+        session_options.sessionCapacity = session_count;
+
+        const SessionArm cold =
+            runSessionArm(session_models, session_options,
+                          /*warm=*/false);
+        const SessionArm warm =
+            runSessionArm(session_models, session_options,
+                          /*warm=*/true);
+        session_accounted = cold.accounted && warm.accounted;
+
+        TablePrinter session_table("cold vs warm-start sessions");
+        session_table.setHeader({"model", "arm", "reuse",
+                                 "delivered loss %", "warm resumed",
+                                 "p95 ms"});
+        const std::size_t expected_resumes =
+            session_count * (turn_count - 1);
+        bool resumes_complete = true;
+        bool reuse_up = true;
+        for (std::size_t m = 0; m < session_models.size(); ++m) {
+            const serve::StatsSnapshot &c = cold.stats.perModel[m];
+            const serve::StatsSnapshot &w = warm.stats.perModel[m];
+            session_table.addRow(
+                {session_models[m].name, "cold",
+                 formatPercent(c.meanReuse),
+                 formatDouble(cold.deliveredLossPct[m], 2),
+                 std::to_string(c.warmResumed),
+                 formatDouble(c.p95LatencyMs, 1)});
+            session_table.addRow(
+                {session_models[m].name, "warm",
+                 formatPercent(w.meanReuse),
+                 formatDouble(warm.deliveredLossPct[m], 2),
+                 std::to_string(w.warmResumed) + "/" +
+                     std::to_string(expected_resumes),
+                 formatDouble(w.p95LatencyMs, 1)});
+            if (w.warmResumed != expected_resumes ||
+                c.warmResumed != 0)
+                resumes_complete = false;
+            if (w.meanReuse < c.meanReuse)
+                reuse_up = false;
+            std::printf("session study %s: reuse %s -> %s (%+.1f pts), "
+                        "delivered loss %.2f%% -> %.2f%% (%+.2f pts)\n",
+                        session_models[m].name.c_str(),
+                        bench::pct(c.meanReuse).c_str(),
+                        bench::pct(w.meanReuse).c_str(),
+                        100.0 * (w.meanReuse - c.meanReuse),
+                        cold.deliveredLossPct[m],
+                        warm.deliveredLossPct[m],
+                        warm.deliveredLossPct[m] -
+                            cold.deliveredLossPct[m]);
+        }
+        session_table.print("serving_load_sessions");
+        std::printf("session acceptance: warm resumes %s, reuse %s, "
+                    "evictions %llu (expected 0)\n",
+                    resumes_complete ? "complete" : "INCOMPLETE",
+                    reuse_up ? "up" : "NOT up",
+                    static_cast<unsigned long long>(warm.evictions));
+        session_accounted =
+            session_accounted && resumes_complete && reuse_up;
+
+        if (!options.quick) {
+            const std::string out_path =
+                options.out.empty() ? "BENCH_PR8.json" : options.out;
+            std::FILE *json = std::fopen(out_path.c_str(), "w");
+            if (json) {
+                std::fprintf(json, "{\n  \"pr\": 8,\n");
+                std::fprintf(
+                    json,
+                    "  \"title\": \"Cross-request warm-start "
+                    "memoization: session-scoped neuron state\",\n");
+                std::fprintf(json,
+                             "  \"bench\": \"bench_serving_load "
+                             "--session-turns (full mode)\",\n");
+                std::fprintf(
+                    json,
+                    "  \"session_study\": {\n    \"sessions_per_model"
+                    "\": %zu, \"turns_per_session\": %zu, "
+                    "\"steps_per_session\": %zu, \"slots\": %zu, "
+                    "\"default_theta\": 0.05,\n    \"per_model\": [\n",
+                    session_count, turn_count, steps, session_slots);
+                for (std::size_t m = 0; m < session_models.size();
+                     ++m) {
+                    const serve::StatsSnapshot &c =
+                        cold.stats.perModel[m];
+                    const serve::StatsSnapshot &w =
+                        warm.stats.perModel[m];
+                    std::fprintf(
+                        json,
+                        "      { \"model\": \"%s\",\n"
+                        "        \"cold\": { \"mean_reuse\": %.3f, "
+                        "\"delivered_loss_pct\": %.2f, "
+                        "\"p95_ms\": %.1f },\n"
+                        "        \"warm\": { \"mean_reuse\": %.3f, "
+                        "\"delivered_loss_pct\": %.2f, "
+                        "\"p95_ms\": %.1f, \"warm_resumed\": %zu, "
+                        "\"expected_warm_resumed\": %zu },\n"
+                        "        \"reuse_uplift_pts\": %.1f, "
+                        "\"delivered_loss_delta_pts\": %.2f }%s\n",
+                        session_models[m].name.c_str(), c.meanReuse,
+                        cold.deliveredLossPct[m], c.p95LatencyMs,
+                        w.meanReuse, warm.deliveredLossPct[m],
+                        w.p95LatencyMs, w.warmResumed,
+                        expected_resumes,
+                        100.0 * (w.meanReuse - c.meanReuse),
+                        warm.deliveredLossPct[m] -
+                            cold.deliveredLossPct[m],
+                        m + 1 < session_models.size() ? "," : "");
+                }
+                std::fprintf(
+                    json,
+                    "    ],\n    \"aggregate\": { "
+                    "\"cold_mean_reuse\": %.3f, \"warm_mean_reuse\": "
+                    "%.3f, \"warm_resumed\": %zu, "
+                    "\"session_evictions\": %llu }\n  },\n",
+                    cold.stats.aggregate.meanReuse,
+                    warm.stats.aggregate.meanReuse,
+                    warm.stats.aggregate.warmResumed,
+                    static_cast<unsigned long long>(warm.evictions));
+                std::fprintf(
+                    json,
+                    "  \"acceptance\": { \"warm_resumes_complete\": "
+                    "%s, \"reuse_up\": %s, \"requirement\": \"every "
+                    "turn after the first of a session-tagged request "
+                    "warm-resumes; warm reuse >= cold reuse per "
+                    "model; untagged traffic bit-identical "
+                    "(tests/serve_test.cc RecycledSlotStartsCold, "
+                    "tests/fleet_test.cc "
+                    "CrossModelSlotRecyclingStartsCold unmodified); "
+                    "warm-resume bit-identity pinned by "
+                    "tests/session_test.cc\" }\n}\n",
+                    resumes_complete ? "true" : "false",
+                    reuse_up ? "true" : "false");
+                std::fclose(json);
+                std::printf("wrote %s\n", out_path.c_str());
+            }
+        }
+    }
+
     // Sanity line for the CI smoke run: every request completed (or,
     // in the policy sweep, was shed by an admission policy).
     std::size_t completed = 0;
     for (const LoadPoint &point : points)
         completed += point.stats.completed;
-    std::printf("completed %zu/%zu requests across %zu load points%s%s\n",
-                completed, points.size() * requests.size(),
-                points.size(),
-                admission_accounted ? "" : "; POLICY SWEEP LOST "
-                                           "REQUESTS",
-                autopilot_accounted ? "" : "; AUTOPILOT RAMP LOST "
-                                           "REQUESTS");
+    std::printf(
+        "completed %zu/%zu requests across %zu load points%s%s%s\n",
+        completed, points.size() * requests.size(), points.size(),
+        admission_accounted ? "" : "; POLICY SWEEP LOST REQUESTS",
+        autopilot_accounted ? "" : "; AUTOPILOT RAMP LOST REQUESTS",
+        session_accounted ? "" : "; SESSION STUDY FAILED");
     return completed == points.size() * requests.size() &&
-                   admission_accounted && autopilot_accounted
+                   admission_accounted && autopilot_accounted &&
+                   session_accounted
                ? 0
                : 1;
 }

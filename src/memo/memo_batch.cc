@@ -254,6 +254,75 @@ BatchMemoEngine::admitSlot(std::size_t slot, double theta)
 }
 
 void
+BatchMemoEngine::exportSlot(std::size_t slot, SlotMemoState &out) const
+{
+    nlfm_assert(slot < batch_, "exportSlot: slot out of range");
+    const std::size_t neurons = network_.totalNeurons();
+    const bool bnn = options_.predictor == PredictorKind::Bnn;
+    out.cachedOutput.resize(neurons);
+    out.valid.resize(neurons);
+    out.cachedBnn.resize(bnn ? neurons : 0);
+    out.deltaRaw.resize(bnn && options_.fixedPoint ? neurons : 0);
+    out.deltaFp.resize(bnn && !options_.fixedPoint ? neurons : 0);
+    // Strided gather: entry n of the snapshot is table column slot of
+    // neuron n. One pass per allocated array keeps each table's access
+    // pattern a simple fixed-stride walk.
+    for (std::size_t n = 0; n < neurons; ++n) {
+        const std::size_t e = n * slotStride_ + slot;
+        out.cachedOutput[n] = cachedOutput_[e];
+        out.valid[n] = valid_[e];
+    }
+    if (!bnn)
+        return;
+    for (std::size_t n = 0; n < neurons; ++n)
+        out.cachedBnn[n] = cachedBnn_[n * slotStride_ + slot];
+    if (options_.fixedPoint) {
+        for (std::size_t n = 0; n < neurons; ++n)
+            out.deltaRaw[n] = deltaRaw_[n * slotStride_ + slot];
+    } else {
+        for (std::size_t n = 0; n < neurons; ++n)
+            out.deltaFp[n] = deltaFp_[n * slotStride_ + slot];
+    }
+}
+
+void
+BatchMemoEngine::restoreSlot(std::size_t slot, const SlotMemoState &state)
+{
+    nlfm_assert(slot < batch_, "restoreSlot: slot out of range");
+    const std::size_t neurons = network_.totalNeurons();
+    const bool bnn = options_.predictor == PredictorKind::Bnn;
+    nlfm_assert(state.cachedOutput.size() == neurons &&
+                    state.valid.size() == neurons,
+                "restoreSlot: snapshot neuron count mismatch (session "
+                "state from a different network?)");
+    nlfm_assert(state.cachedBnn.size() == (bnn ? neurons : 0),
+                "restoreSlot: snapshot predictor mismatch (BNN tables "
+                "vs this engine's configuration)");
+    nlfm_assert(state.deltaRaw.size() ==
+                        (bnn && options_.fixedPoint ? neurons : 0) &&
+                    state.deltaFp.size() ==
+                        (bnn && !options_.fixedPoint ? neurons : 0),
+                "restoreSlot: snapshot delta representation mismatch "
+                "(fixedPoint configuration differs)");
+    for (std::size_t n = 0; n < neurons; ++n) {
+        const std::size_t e = n * slotStride_ + slot;
+        cachedOutput_[e] = state.cachedOutput[n];
+        valid_[e] = state.valid[n];
+    }
+    if (!bnn)
+        return;
+    for (std::size_t n = 0; n < neurons; ++n)
+        cachedBnn_[n * slotStride_ + slot] = state.cachedBnn[n];
+    if (options_.fixedPoint) {
+        for (std::size_t n = 0; n < neurons; ++n)
+            deltaRaw_[n * slotStride_ + slot] = state.deltaRaw[n];
+    } else {
+        for (std::size_t n = 0; n < neurons; ++n)
+            deltaFp_[n * slotStride_ + slot] = state.deltaFp[n];
+    }
+}
+
+void
 BatchMemoEngine::setSlotTheta(std::size_t slot, double theta)
 {
     nlfm_assert(slot < batch_, "setSlotTheta: slot out of range");

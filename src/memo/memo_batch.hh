@@ -35,6 +35,26 @@
 namespace nlfm::memo
 {
 
+/// Dense snapshot of one slot's memo table — every neuron's y_m / yb_m /
+/// delta_b / valid byte, gathered out of the engine's strided SoA
+/// columns. The serving tier's session warm-start carrier
+/// (serve::SessionStore): restoring a snapshot into any slot of an
+/// engine with the same network and predictor configuration makes that
+/// slot continue deciding exactly where the exporting slot stopped.
+/// Only the arrays the exporting engine's configuration allocates are
+/// filled (Oracle engines carry no yb_m/delta_b; fixedPoint selects one
+/// delta representation), and restoreSlot asserts the same shape.
+struct SlotMemoState
+{
+    std::vector<float> cachedOutput;     ///< y_m per neuron
+    std::vector<std::int32_t> cachedBnn; ///< yb_m (BNN predictor only)
+    std::vector<std::int64_t> deltaRaw;  ///< delta_b, Q16 raw
+    std::vector<double> deltaFp;         ///< delta_b, double path
+    std::vector<std::uint8_t> valid;
+
+    bool empty() const { return valid.empty(); }
+};
+
 /// Batched fuzzy memoization evaluator.
 class BatchMemoEngine : public nn::BatchGateEvaluator
 {
@@ -71,6 +91,22 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
     /// resetSlot + setSlotTheta in one call: the admission step of the
     /// serving scheduler. @p theta < 0 keeps the engine default.
     void admitSlot(std::size_t slot, double theta = -1.0);
+
+    /// Gather one slot's memo entries (y_m, yb_m, delta_b, valid — the
+    /// arrays this engine's configuration allocates) into a dense
+    /// snapshot: the completion-side half of session warm-start. Same
+    /// concurrency contract as resetSlot. @p out is resized; safe to
+    /// reuse across calls.
+    void exportSlot(std::size_t slot, SlotMemoState &out) const;
+
+    /// Scatter a snapshot back into one slot's memo entries — the
+    /// admission-side half of warm-start. Call AFTER admitSlot: the
+    /// per-request theta and the reuse counters are admission state,
+    /// not session state, so restore deliberately leaves both alone
+    /// (slotReuseFraction stays per-request). The snapshot must come
+    /// from an engine with the same network and the same predictor /
+    /// fixedPoint configuration (asserted via array shapes).
+    void restoreSlot(std::size_t slot, const SlotMemoState &state);
 
     /// Per-request reuse threshold of one slot (Eq. 14's theta). Slots at
     /// a non-default theta disable the uniform-theta AVX-512 decision

@@ -35,6 +35,50 @@ NetworkStepper::resetSlot(std::size_t slot)
 }
 
 void
+NetworkStepper::exportSlot(std::size_t slot, SlotCellState &out) const
+{
+    nlfm_assert(slot < slots_, "exportSlot: slot out of range");
+    out.h.resize(states_.size());
+    out.c.resize(states_.size());
+    for (std::size_t l = 0; l < states_.size(); ++l) {
+        const auto h_row = states_[l].h.row(slot);
+        out.h[l].assign(h_row.begin(), h_row.end());
+        if (states_[l].c.empty()) {
+            out.c[l].clear();
+        } else {
+            const auto c_row = states_[l].c.row(slot);
+            out.c[l].assign(c_row.begin(), c_row.end());
+        }
+    }
+}
+
+void
+NetworkStepper::restoreSlot(std::size_t slot, const SlotCellState &state)
+{
+    nlfm_assert(slot < slots_, "restoreSlot: slot out of range");
+    nlfm_assert(state.h.size() == states_.size() &&
+                    state.c.size() == states_.size(),
+                "restoreSlot: snapshot layer count mismatch (session "
+                "state from a different network?)");
+    for (std::size_t l = 0; l < states_.size(); ++l) {
+        const auto h_row = states_[l].h.row(slot);
+        nlfm_assert(state.h[l].size() == h_row.size(),
+                    "restoreSlot: hidden width mismatch at layer ", l);
+        std::copy(state.h[l].begin(), state.h[l].end(), h_row.begin());
+        nlfm_assert(state.c[l].empty() == states_[l].c.empty(),
+                    "restoreSlot: cell-state presence mismatch at "
+                    "layer ", l);
+        if (!states_[l].c.empty()) {
+            const auto c_row = states_[l].c.row(slot);
+            nlfm_assert(state.c[l].size() == c_row.size(),
+                        "restoreSlot: cell width mismatch at layer ", l);
+            std::copy(state.c[l].begin(), state.c[l].end(),
+                      c_row.begin());
+        }
+    }
+}
+
+void
 NetworkStepper::step(std::span<const std::size_t> rows,
                      BatchGateEvaluator &eval)
 {

@@ -31,6 +31,22 @@
 namespace nlfm::nn
 {
 
+/// Snapshot of one slot's recurrent state across every layer: the h row
+/// (and c row for cells that carry one) of each BatchCellState. The
+/// portable carrier of the serving tier's session warm-start
+/// (serve::SessionStore) — a slot restored from a snapshot continues
+/// stepping exactly where the exporting slot left off, regardless of
+/// which slot index either side used.
+struct SlotCellState
+{
+    /// h[layer]: hidden row of that layer (hiddenSize floats).
+    std::vector<std::vector<float>> h;
+    /// c[layer]: cell row, empty for cell-less layers (GRU/vanilla).
+    std::vector<std::vector<float>> c;
+
+    bool empty() const { return h.empty(); }
+};
+
 /// Persistent slot-pool stepping of a unidirectional stack.
 class NetworkStepper
 {
@@ -53,6 +69,17 @@ class NetworkStepper
     /// layer — the admission step. The memo engine's state for the slot
     /// is reset separately (BatchMemoEngine::admitSlot).
     void resetSlot(std::size_t slot);
+
+    /// Copy one slot's recurrent state (h, and c where present, of every
+    /// layer) out of the panels — the completion-side half of session
+    /// warm-start. @p out is resized; safe to reuse across calls.
+    void exportSlot(std::size_t slot, SlotCellState &out) const;
+
+    /// Overwrite one slot's recurrent state from a snapshot taken by
+    /// exportSlot on a stepper of the SAME network (layer count and row
+    /// widths are asserted). The admission-side half of warm-start:
+    /// call after resetSlot, before the slot's first step().
+    void restoreSlot(std::size_t slot, const SlotCellState &state);
 
     /// Input panel [slots x inputSize]: write each active slot's current
     /// input frame into its row before calling step().

@@ -32,6 +32,38 @@ Admission::Admission(AdmissionConfig config,
         std::make_unique<std::atomic<double>[]>(models_.size());
     for (std::size_t m = 0; m < models_.size(); ++m)
         thetaFloors_[m].store(0.0, std::memory_order_relaxed);
+    if (config_.sessionCapacity > 0)
+        sessions_ = std::make_unique<SessionStore>(
+            models_.size(), config_.sessionCapacity);
+}
+
+std::optional<SessionState>
+Admission::takeSession(std::size_t model, const std::string &id)
+{
+    if (sessions_ == nullptr)
+        return std::nullopt;
+    return sessions_->take(model, id);
+}
+
+void
+Admission::storeSession(std::size_t model, const std::string &id,
+                        SessionState &&state)
+{
+    if (sessions_ == nullptr)
+        return;
+    sessions_->put(model, id, std::move(state));
+}
+
+std::size_t
+Admission::sessionCount(std::size_t model) const
+{
+    return sessions_ == nullptr ? 0 : sessions_->size(model);
+}
+
+std::uint64_t
+Admission::sessionEvictions() const
+{
+    return sessions_ == nullptr ? 0 : sessions_->evictions();
 }
 
 void
@@ -209,6 +241,7 @@ Admission::complete(std::size_t model, SlotState &state, double theta,
     response.deadlineMet =
         state.request.deadlineMs <= 0.0 ||
         response.latencyMs <= state.request.deadlineMs;
+    response.warmResumed = state.warmStart;
     response.output = std::move(state.output);
 
     nlfm_assert(aggregate_ != nullptr,

@@ -71,6 +71,7 @@
 
 #include "serve/request_queue.hh"
 #include "serve/scheduler.hh"
+#include "serve/session_store.hh"
 #include "serve/stats.hh"
 
 namespace nlfm::serve
@@ -99,6 +100,10 @@ struct AdmissionConfig
     QueuePolicy queuePolicy = QueuePolicy::Fifo;
     bool shedExpired = false;
     bool shedPredicted = false;
+    /// Max warm-start sessions kept PER MODEL (ServerOptions/
+    /// FleetOptions::sessionCapacity); 0 disables the session store
+    /// entirely (session-tagged requests are served cold).
+    std::size_t sessionCapacity = 0;
 };
 
 /// One model's admission-side description.
@@ -191,6 +196,32 @@ class Admission
     void complete(std::size_t model, SlotState &state, double theta,
                   double reuse);
 
+    // -------------------------------------------- session warm-start
+
+    /// True when a session store exists (sessionCapacity > 0): the
+    /// servers only then route session-tagged requests through it.
+    bool sessionsEnabled() const { return sessions_ != nullptr; }
+
+    /// Check a session's state out of the store for the request being
+    /// admitted (nullopt = cold start: unknown, evicted, or currently
+    /// checked out by an in-flight request). Driver thread.
+    std::optional<SessionState> takeSession(std::size_t model,
+                                            const std::string &id);
+
+    /// Store the completing slot's snapshot back under its session id
+    /// (LRU-evicting the model's oldest session when full). Driver
+    /// thread.
+    void storeSession(std::size_t model, const std::string &id,
+                      SessionState &&state);
+
+    /// Live sessions stored for @p model (0 when sessions are
+    /// disabled). Any thread.
+    std::size_t sessionCount(std::size_t model) const;
+
+    /// Sessions evicted by capacity pressure (0 when disabled). Any
+    /// thread.
+    std::uint64_t sessionEvictions() const;
+
     /// Requests queued (not yet admitted) at one model.
     std::size_t queueDepth(std::size_t model) const;
 
@@ -231,6 +262,8 @@ class Admission
     /// Per-model autopilot floors (0 = none). Array of atomics rather
     /// than vector: atomics are not movable.
     std::unique_ptr<std::atomic<double>[]> thetaFloors_;
+    /// Warm-start session store; null when sessionCapacity == 0.
+    std::unique_ptr<SessionStore> sessions_;
 
     std::atomic<std::uint64_t> nextId_{0};
     std::atomic<std::uint64_t> submitted_{0};

@@ -101,6 +101,7 @@ FleetScheduler::admit(std::size_t model, QueuedRequest &&item)
     state.request = std::move(item.request);
     state.promise = std::move(item.promise);
     state.step = 0;
+    state.warmStart = false;
     state.output.clear();
     state.output.reserve(state.request.input.size());
     state.enqueueTime = item.enqueueTime;

@@ -31,6 +31,7 @@ fleetAdmissionConfig(const FleetOptions &options)
     config.queuePolicy = options.queuePolicy;
     config.shedExpired = options.shedExpired;
     config.shedPredicted = options.shedPredicted;
+    config.sessionCapacity = options.sessionCapacity;
     return config;
 }
 
@@ -317,8 +318,23 @@ FleetServer::admitPending()
         rt.stepper->resetSlot(slot);
         if (rt.engine)
             rt.engine->admitSlot(slot, theta);
+        // Session warm start: restore the session's snapshot over the
+        // freshly reset slot. The store is keyed (model, id), so a
+        // snapshot taken under one model can never land in another's
+        // engine even when the same bare id is reused across models.
+        SlotState &admitted = scheduler_.slot(slot);
+        if (admission_.sessionsEnabled() &&
+            !admitted.request.sessionId.empty()) {
+            if (auto snap =
+                    admission_.takeSession(m, admitted.request.sessionId)) {
+                if (rt.engine && !snap->memo.empty())
+                    rt.engine->restoreSlot(slot, snap->memo);
+                rt.stepper->restoreSlot(slot, snap->cell);
+                admitted.warmStart = true;
+            }
+        }
         // Zero-length sequences complete in place, never hold a row.
-        if (scheduler_.slot(slot).request.input.empty())
+        if (admitted.request.input.empty())
             completeSlot(slot);
     }
 }
@@ -406,6 +422,17 @@ FleetServer::completeSlot(std::size_t slot)
                                    : servedTheta(state.request);
     const double reuse =
         rt.engine ? rt.engine->slotReuseFraction(slot) : 0.0;
+    // Snapshot the finished slot under (model, session id) for the
+    // session's next turn. Exact models still warm-start recurrent
+    // state; their memo half stays empty.
+    if (admission_.sessionsEnabled() && !state.request.sessionId.empty()) {
+        SessionState snap;
+        if (rt.engine)
+            rt.engine->exportSlot(slot, snap.memo);
+        rt.stepper->exportSlot(slot, snap.cell);
+        admission_.storeSession(model, state.request.sessionId,
+                                std::move(snap));
+    }
     admission_.complete(model, state, theta, reuse);
     // Restore this model's default theta while the slot sits free, so a
     // stale override does not pin the engine's scalar decision path

@@ -92,6 +92,14 @@ struct FleetOptions
     /// every model's calibratedStepCostMs > 0. Off by default: the
     /// flat-credit path is bit-identical to PR 4.
     bool costAwareAdmission = false;
+
+    /// Max warm-start sessions retained PER MODEL
+    /// (serve/session_store.hh); 0 disables the store. Sessions are
+    /// keyed (model, id), so fleet slots never leak state across
+    /// models; warm start is per-request opt-in via
+    /// Request::sessionId, and untagged traffic is bit-identical
+    /// either way.
+    std::size_t sessionCapacity = 64;
 };
 
 /// Continuous-batching server for a fleet of resident models.
@@ -162,6 +170,20 @@ class FleetServer
     /// Highest floor @p model's autopilot reached since construction
     /// (0 when off). Any thread.
     double maxThetaFloorSeen(std::size_t model) const;
+
+    /// Warm-start sessions currently stored for @p model (0 when
+    /// sessions are disabled). Any thread.
+    std::size_t sessionCount(std::size_t model) const
+    {
+        return admission_.sessionCount(model);
+    }
+
+    /// Sessions evicted by capacity pressure, fleet-wide (0 when
+    /// disabled). Any thread.
+    std::uint64_t sessionEvictions() const
+    {
+        return admission_.sessionEvictions();
+    }
 
   private:
     /// Per-model runtime: the stepper/engine pair sized to the shared

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "nn/rnn_layer.hh"
 
@@ -66,6 +67,19 @@ struct Request
     /// shedPredicted — see docs/SERVING.md "Admission policies") use it
     /// for scheduling and shedding.
     double deadlineMs = 0.0;
+
+    /// Client-supplied session key for cross-request warm-start
+    /// (docs/SERVING.md, "Sessions & warm-start"). Empty — the default
+    /// — opts out: the request is served exactly as before sessions
+    /// existed (cold slot, nothing snapshotted). Non-empty asks the
+    /// server to restore the session's memo table and recurrent state
+    /// into the assigned slot at admission and to snapshot them back at
+    /// completion, so consecutive turns of one session evaluate as one
+    /// uninterrupted sequence. Turns of a session are expected to be
+    /// submitted sequentially (enqueue turn k+1 after turn k's future
+    /// resolves); a concurrent second turn simply finds the state
+    /// checked out and starts cold.
+    std::string sessionId;
 };
 
 /// Completion record of one request.
@@ -100,6 +114,12 @@ struct Response
     double latencyMs = 0.0;
     /// latencyMs <= deadline (true when no deadline was set).
     bool deadlineMet = true;
+
+    /// True when the request resumed from its session's stored state
+    /// (Request::sessionId hit the SessionStore); false for cold starts,
+    /// including session-tagged requests whose state was evicted or
+    /// checked out. Counted by ServingStats as warmResumed.
+    bool warmResumed = false;
 };
 
 } // namespace nlfm::serve

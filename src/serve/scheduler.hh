@@ -36,6 +36,9 @@ struct SlotState
     Request request;               ///< the admitted request
     std::promise<Response> promise;
     std::size_t step = 0;          ///< next input step to process
+    /// Session warm-start restored into this slot at admission (flows
+    /// into Response::warmResumed at completion).
+    bool warmStart = false;
     nn::Sequence output;           ///< per-step outputs collected so far
     Clock::time_point enqueueTime{};
     Clock::time_point admitTime{};

@@ -21,6 +21,7 @@ serverAdmissionConfig(const ServerOptions &options)
     config.queuePolicy = options.queuePolicy;
     config.shedExpired = options.shedExpired;
     config.shedPredicted = options.shedPredicted;
+    config.sessionCapacity = options.sessionCapacity;
     return config;
 }
 
@@ -177,9 +178,24 @@ Server::admitPending()
         stepper_.resetSlot(slot);
         if (engine_)
             engine_->admitSlot(slot, theta);
+        // Session warm start: restore the session's snapshot over the
+        // freshly reset slot (memo table + recurrent rows), leaving the
+        // admission just done — theta and reuse counters — alone. No
+        // snapshot (unknown id, evicted, in flight) = cold start.
+        SlotState &admitted = scheduler_.slot(slot);
+        if (admission_.sessionsEnabled() &&
+            !admitted.request.sessionId.empty()) {
+            if (auto snap =
+                    admission_.takeSession(0, admitted.request.sessionId)) {
+                if (engine_ && !snap->memo.empty())
+                    engine_->restoreSlot(slot, snap->memo);
+                stepper_.restoreSlot(slot, snap->cell);
+                admitted.warmStart = true;
+            }
+        }
         // A zero-length sequence has nothing to step: complete in place
         // so it never wastes a panel row.
-        if (scheduler_.slot(slot).request.input.empty())
+        if (admitted.request.input.empty())
             completeSlot(slot);
     }
 }
@@ -251,6 +267,17 @@ Server::completeSlot(std::size_t slot)
         engine_ ? engine_->slotTheta(slot) : servedTheta(state.request);
     const double reuse =
         engine_ ? engine_->slotReuseFraction(slot) : 0.0;
+    // Snapshot the finished slot for the session's next turn before the
+    // response gives anything away. Exact servers still warm-start the
+    // recurrent state; the memo half stays empty.
+    if (admission_.sessionsEnabled() && !state.request.sessionId.empty()) {
+        SessionState snap;
+        if (engine_)
+            engine_->exportSlot(slot, snap.memo);
+        stepper_.exportSlot(slot, snap.cell);
+        admission_.storeSession(0, state.request.sessionId,
+                                std::move(snap));
+    }
     admission_.complete(0, state, theta, reuse);
     // Restore the default theta while the slot sits free: a stale
     // non-default value would keep counting against the engine's

@@ -121,6 +121,12 @@ struct ServerOptions
     /// without the controller. Requires memoized (a floor on an exact
     /// server has nothing to act on).
     ThetaAutopilotOptions autopilot{};
+
+    /// Max warm-start sessions retained (serve/session_store.hh); 0
+    /// disables the store. Warm start itself is per-request opt-in:
+    /// only requests carrying a non-empty Request::sessionId touch the
+    /// store, so plain traffic is bit-identical either way.
+    std::size_t sessionCapacity = 64;
 };
 
 /// Continuous-batching inference server.
@@ -178,6 +184,20 @@ class Server
     double maxThetaFloorSeen() const
     {
         return controller_ ? controller_->maxFloorSeen() : 0.0;
+    }
+
+    /// Warm-start sessions currently stored (0 when sessions are
+    /// disabled). Any thread.
+    std::size_t sessionCount() const
+    {
+        return admission_.sessionCount(0);
+    }
+
+    /// Sessions evicted by capacity pressure (0 when disabled). Any
+    /// thread.
+    std::uint64_t sessionEvictions() const
+    {
+        return admission_.sessionEvictions();
     }
 
   private:

@@ -1,0 +1,73 @@
+#include "serve/session_store.hh"
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+SessionStore::SessionStore(std::size_t models, std::size_t capacity)
+    : capacity_(capacity), shards_(models)
+{
+    nlfm_assert(models > 0, "session store with zero models");
+    nlfm_assert(capacity > 0,
+                "session store with zero capacity (leave the store "
+                "unconstructed to disable sessions)");
+}
+
+void
+SessionStore::put(std::size_t model, const std::string &id,
+                  SessionState &&state)
+{
+    nlfm_assert(model < shards_.size(), "model id out of range");
+    nlfm_assert(!id.empty(), "empty session id");
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &shard = shards_[model];
+    const auto found = shard.index.find(id);
+    if (found != shard.index.end()) {
+        // Same session stored twice without an intervening take():
+        // latest snapshot wins (the previous one described an older
+        // turn) and the session is touched to most-recent.
+        found->second->state = std::move(state);
+        shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
+        return;
+    }
+    shard.lru.push_front(Entry{id, std::move(state)});
+    shard.index.emplace(id, shard.lru.begin());
+    if (shard.lru.size() > capacity_) {
+        shard.index.erase(shard.lru.back().id);
+        shard.lru.pop_back();
+        ++evictions_;
+    }
+}
+
+std::optional<SessionState>
+SessionStore::take(std::size_t model, const std::string &id)
+{
+    nlfm_assert(model < shards_.size(), "model id out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &shard = shards_[model];
+    const auto found = shard.index.find(id);
+    if (found == shard.index.end())
+        return std::nullopt;
+    SessionState state = std::move(found->second->state);
+    shard.lru.erase(found->second);
+    shard.index.erase(found);
+    return state;
+}
+
+std::size_t
+SessionStore::size(std::size_t model) const
+{
+    nlfm_assert(model < shards_.size(), "model id out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shards_[model].lru.size();
+}
+
+std::uint64_t
+SessionStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+} // namespace nlfm::serve

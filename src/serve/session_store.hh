@@ -1,0 +1,108 @@
+/// @file
+/// Cross-request session state for warm-start memoization.
+///
+/// The paper memoizes neuron outputs because they drift slowly over
+/// time; the serving tier used to throw that temporal locality away at
+/// every request boundary (recycled slots start cold by contract). For
+/// multi-turn and streaming traffic the previous turn's final neuron
+/// state is exactly the slow-moving signal the memo scheme feeds on, so
+/// the SessionStore keeps it alive between requests: on completion of a
+/// session-tagged request the server snapshots the slot's memo table
+/// (memo::SlotMemoState) and recurrent state (nn::SlotCellState); on
+/// admission of the session's next request the snapshot is restored
+/// into whatever slot that request lands in. A warm-resumed turn then
+/// evaluates bit-identically to the continuation of one uninterrupted
+/// concatenated request (pinned by tests/session_test.cc).
+///
+/// Keys are (model, session id): per-model keying is what keeps fleet
+/// slots from leaking state across models — a snapshot taken under one
+/// model can never be restored into another's engine. Capacity is
+/// LRU-bounded per model; an evicted session silently falls back to a
+/// cold start (correct, just slower/less reusable). take() removes the
+/// entry while its request is in flight — a concurrent second request
+/// on the same session finds nothing and starts cold instead of
+/// forking the state.
+///
+/// Thread safety: all methods lock. In the servers only the driver
+/// thread mutates the store, but counts are readable from any thread
+/// (tests, benches), and the lock is trivia next to a snapshot copy.
+
+#ifndef NLFM_SERVE_SESSION_STORE_HH
+#define NLFM_SERVE_SESSION_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memo/memo_batch.hh"
+#include "nn/network_stepper.hh"
+
+namespace nlfm::serve
+{
+
+/// Everything a session carries across a request boundary: the memo
+/// table column (empty for exact models) and the per-layer recurrent
+/// rows of the slot that served the previous turn.
+struct SessionState
+{
+    memo::SlotMemoState memo;
+    nn::SlotCellState cell;
+};
+
+/// LRU-bounded, per-model map of session id -> SessionState.
+class SessionStore
+{
+  public:
+    /// @param models   model count (the fleet's registry size; 1 for a
+    ///                 single-model server)
+    /// @param capacity max live sessions PER MODEL; must be > 0 (a
+    ///                 disabled store is expressed by not constructing
+    ///                 one)
+    SessionStore(std::size_t models, std::size_t capacity);
+
+    /// Insert or overwrite @p id's state and mark it most recent;
+    /// evicts the least-recently-used session of @p model when full.
+    void put(std::size_t model, const std::string &id,
+             SessionState &&state);
+
+    /// Remove and return @p id's state, or nullopt (cold start). The
+    /// caller owns the state until it put()s the successor snapshot
+    /// back at completion.
+    std::optional<SessionState> take(std::size_t model,
+                                     const std::string &id);
+
+    /// Live sessions stored for @p model.
+    std::size_t size(std::size_t model) const;
+
+    /// Sessions evicted by capacity pressure since construction.
+    std::uint64_t evictions() const;
+
+  private:
+    struct Entry
+    {
+        std::string id;
+        SessionState state;
+    };
+
+    /// One model's LRU: list front = most recent; index maps id to its
+    /// list node.
+    struct Shard
+    {
+        std::list<Entry> lru;
+        std::unordered_map<std::string, std::list<Entry>::iterator>
+            index;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<Shard> shards_;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace nlfm::serve
+
+#endif // NLFM_SERVE_SESSION_STORE_HH

@@ -32,6 +32,7 @@ StatsSnapshot::report(const std::string &title,
     table.addRow({"deadline met", std::to_string(deadlineMet)});
     table.addRow({"shed", std::to_string(shed)});
     table.addRow({"shed (predicted)", std::to_string(shedPredicted)});
+    table.addRow({"warm resumed", std::to_string(warmResumed)});
     table.addRow({"steps", std::to_string(totalSteps)});
     table.addRow({"wall s", formatDouble(wallSeconds)});
     table.addRow({"throughput seq/s", formatDouble(throughput())});
@@ -78,6 +79,8 @@ ServingStats::record(const Response &response)
     reuseSum_ += response.reuseFraction;
     if (response.deadlineMet)
         ++deadlineMet_;
+    if (response.warmResumed)
+        ++warmResumed_;
     totalSteps_ += response.steps;
 
     // Percentile reservoir (Algorithm R): keep a uniform sample of the
@@ -125,6 +128,7 @@ ServingStats::snapshot() const
     snap.deadlineMet = deadlineMet_;
     snap.shed = shed_;
     snap.shedPredicted = shedPredicted_;
+    snap.warmResumed = warmResumed_;
     snap.totalSteps = totalSteps_;
     if (started_)
         snap.wallSeconds =
@@ -169,6 +173,7 @@ ServingStats::reset()
     deadlineMet_ = 0;
     shed_ = 0;
     shedPredicted_ = 0;
+    warmResumed_ = 0;
     totalSteps_ = 0;
 }
 

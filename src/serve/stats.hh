@@ -52,6 +52,9 @@ struct StatsSnapshot
     /// (ShedReason::PredictedMiss) rather than an already-expired
     /// deadline.
     std::size_t shedPredicted = 0;
+    /// Completed requests that resumed a stored warm-start session
+    /// (Response::warmResumed); 0 whenever sessions are unused.
+    std::size_t warmResumed = 0;
     std::size_t totalSteps = 0;
     double wallSeconds = 0.0;
 
@@ -128,6 +131,7 @@ class ServingStats
     std::size_t deadlineMet_ = 0;
     std::size_t shed_ = 0;
     std::size_t shedPredicted_ = 0;
+    std::size_t warmResumed_ = 0;
     std::size_t totalSteps_ = 0;
     std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
 };

@@ -53,10 +53,17 @@ ThetaController::tick(const ThetaSignals &signals)
     // Differenced event counters: what went wrong since the last
     // decision. Before the first decision the baseline is zero, so
     // pre-existing sheds count as pressure — which is correct for a
-    // controller attached to an already-struggling server.
-    const std::uint64_t sheds = signals.shed - lastSignals_.shed;
+    // controller attached to an already-struggling server. A counter
+    // BELOW its baseline means the stats window was reset mid-flight
+    // (Server::resetStats) — rebaseline from zero instead of letting
+    // the unsigned difference wrap to ~2^64 and slam the floor to max.
+    const std::uint64_t sheds = signals.shed >= lastSignals_.shed
+                                    ? signals.shed - lastSignals_.shed
+                                    : signals.shed;
     const std::uint64_t misses =
-        signals.deadlineMissed - lastSignals_.deadlineMissed;
+        signals.deadlineMissed >= lastSignals_.deadlineMissed
+            ? signals.deadlineMissed - lastSignals_.deadlineMissed
+            : signals.deadlineMissed;
     lastSignals_ = signals;
     lastDecision_ = now;
     decided_ = true;

@@ -1,0 +1,620 @@
+/**
+ * @file
+ * Contract tests for cross-request session warm-start
+ * (serve::SessionStore and the Server/FleetServer wiring).
+ *
+ *  - Warm resume is a bitwise continuation: serving a sequence in N
+ *    session-tagged turns produces exactly the outputs of the
+ *    uninterrupted concatenated request — for the BNN predictor, for
+ *    the Oracle at theta = 0, and for exact (non-memoized) servers
+ *    (which warm-start the recurrent state alone).
+ *  - No session id = cold, bit-identical to a server without sessions;
+ *    the store stays empty.
+ *  - An evicted session falls back to a cold start (and says so via
+ *    Response::warmResumed).
+ *  - Fleet sessions are keyed per model: the same session id on two
+ *    models never crosses state between their engines.
+ *  - Worker count does not change warm-resumed outputs.
+ *  - The engine/stepper export-restore primitives round-trip exactly
+ *    across slots (the unit beneath all of the above).
+ *  - Live autopilot + mid-flight resetStats() smoke: the controller's
+ *    counter baselines survive the reset (theta_controller_test pins
+ *    the wrap guard itself).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "memo/memo_batch.hh"
+#include "memo/memo_engine.hh"
+#include "memo/threshold_tuner.hh"
+#include "nn/init.hh"
+#include "serve/fleet_server.hh"
+#include "serve/server.hh"
+#include "serve/session_store.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+nn::RnnConfig
+servingConfig(nn::CellType cell)
+{
+    nn::RnnConfig config;
+    config.cellType = cell;
+    config.inputSize = 6;
+    config.hiddenSize = 8;
+    config.layers = 2;
+    config.bidirectional = false;
+    config.peepholes = true;
+    return config;
+}
+
+nn::Sequence
+makeSequence(std::size_t steps, std::size_t width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequence sequence(steps, std::vector<float>(width));
+    for (auto &frame : sequence)
+        rng.fillNormal(frame, 0.0, 1.0);
+    return sequence;
+}
+
+/** Split @p sequence into @p turns contiguous, non-empty chunks. */
+std::vector<nn::Sequence>
+splitIntoTurns(const nn::Sequence &sequence, std::size_t turns)
+{
+    std::vector<nn::Sequence> out(turns);
+    const std::size_t base = sequence.size() / turns;
+    std::size_t at = 0;
+    for (std::size_t t = 0; t < turns; ++t) {
+        const std::size_t len =
+            t + 1 == turns ? sequence.size() - at : base;
+        out[t].assign(sequence.begin() + at,
+                      sequence.begin() + at + len);
+        at += len;
+    }
+    return out;
+}
+
+void
+expectSequenceIdentical(const nn::Sequence &expected,
+                        const nn::Sequence &actual,
+                        const std::string &label)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(expected[t].size(), actual[t].size())
+            << label << " step " << t;
+        for (std::size_t i = 0; i < expected[t].size(); ++i)
+            ASSERT_EQ(expected[t][i], actual[t][i])
+                << label << " step " << t << " element " << i;
+    }
+}
+
+/** Serial per-sequence reference at one theta. */
+nn::Sequence
+serialReference(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+                const nn::Sequence &input, double theta,
+                memo::PredictorKind predictor = memo::PredictorKind::Bnn)
+{
+    memo::MemoOptions options;
+    options.predictor = predictor;
+    options.theta = theta;
+    memo::MemoEngine engine(network, &bnn, options);
+    return network.forward(input, engine);
+}
+
+/**
+ * Serve @p turns sequentially under one session id (each turn completes
+ * before the next is submitted — the session contract) and return the
+ * concatenation of the per-turn outputs plus the warmResumed flags.
+ */
+std::pair<nn::Sequence, std::vector<bool>>
+serveSession(serve::Server &server, const std::vector<nn::Sequence> &turns,
+             const std::string &session_id, double theta = -1.0)
+{
+    nn::Sequence output;
+    std::vector<bool> warm;
+    for (const auto &turn : turns) {
+        serve::Request request;
+        request.input = turn;
+        request.theta = theta;
+        request.sessionId = session_id;
+        serve::Response response =
+            serve::Server::collect(server.enqueue(std::move(request)));
+        warm.push_back(response.warmResumed);
+        for (auto &frame : response.output)
+            output.push_back(std::move(frame));
+    }
+    return {std::move(output), std::move(warm)};
+}
+
+/** One resident model for fleet tests: network + mirror. */
+struct TestModel
+{
+    nn::RnnConfig config;
+    nn::RnnNetwork network;
+    nn::BinarizedNetwork bnn;
+
+    TestModel(const nn::RnnConfig &cfg, std::uint64_t init_seed)
+        : config(cfg), network(cfg),
+          bnn((initWeights(network, init_seed), network))
+    {
+    }
+
+  private:
+    static void
+    initWeights(nn::RnnNetwork &network, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        nn::initNetwork(network, rng);
+    }
+};
+
+// ------------------------------------------------------ SessionStore unit
+
+TEST(SessionStoreTest, TakeRemovesAndLruEvicts)
+{
+    serve::SessionStore store(2, 2);
+    const auto state_with_marker = [](float marker) {
+        serve::SessionState state;
+        state.memo.cachedOutput = {marker};
+        state.memo.valid = {1};
+        return state;
+    };
+
+    store.put(0, "a", state_with_marker(1.f));
+    store.put(0, "b", state_with_marker(2.f));
+    EXPECT_EQ(store.size(0), 2u);
+    EXPECT_EQ(store.size(1), 0u);
+
+    // take removes: a second take of the same id is a cold start.
+    auto a = store.take(0, "a");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->memo.cachedOutput[0], 1.f);
+    EXPECT_FALSE(store.take(0, "a").has_value());
+    EXPECT_EQ(store.size(0), 1u);
+
+    // Same id under another model is a distinct session.
+    EXPECT_FALSE(store.take(1, "b").has_value());
+    EXPECT_EQ(store.evictions(), 0u);
+
+    // Capacity 2: inserting c and d evicts the least recently used.
+    store.put(0, "a", state_with_marker(3.f));
+    store.put(0, "c", state_with_marker(4.f)); // evicts b (oldest)
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_FALSE(store.take(0, "b").has_value());
+    // Touch a (most recent), insert d: c is evicted, a survives.
+    store.put(0, "a", state_with_marker(5.f));
+    store.put(0, "d", state_with_marker(6.f));
+    EXPECT_EQ(store.evictions(), 2u);
+    EXPECT_FALSE(store.take(0, "c").has_value());
+    auto touched = store.take(0, "a");
+    ASSERT_TRUE(touched.has_value());
+    EXPECT_EQ(touched->memo.cachedOutput[0], 5.f);
+}
+
+// --------------------------------------------- export/restore primitives
+
+TEST(SessionStateTest, EngineAndStepperExportRestoreRoundTrip)
+{
+    // Step a sequence's prefix on slot 0, snapshot, restore into slot 2
+    // of FRESH engine/stepper instances, continue with the suffix: the
+    // continuation must be bitwise identical to the uninterrupted run.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(11);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    const nn::Sequence sequence =
+        makeSequence(10, config.inputSize, 21);
+    const std::size_t cut = 6;
+    const double theta = 0.1;
+    const nn::Sequence reference =
+        serialReference(network, bnn, sequence, theta);
+
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = 0.05; // engine default differs from the request
+
+    const auto step_one = [&](nn::NetworkStepper &stepper,
+                              memo::BatchMemoEngine &engine,
+                              std::size_t slot,
+                              const std::vector<float> &frame) {
+        std::copy(frame.begin(), frame.end(),
+                  stepper.inputPanel().row(slot).begin());
+        const std::size_t rows[] = {slot};
+        stepper.step(rows, engine);
+        const auto out = stepper.output(slot);
+        return std::vector<float>(out.begin(), out.end());
+    };
+
+    serve::SessionState snap;
+    {
+        nn::NetworkStepper stepper(network, 4);
+        memo::BatchMemoEngine engine(network, &bnn, options);
+        engine.beginBatch(4);
+        stepper.resetSlot(0);
+        engine.admitSlot(0, theta);
+        for (std::size_t t = 0; t < cut; ++t) {
+            const auto out = step_one(stepper, engine, 0, sequence[t]);
+            expectSequenceIdentical({reference[t]}, {out},
+                                    "prefix step " + std::to_string(t));
+        }
+        engine.exportSlot(0, snap.memo);
+        stepper.exportSlot(0, snap.cell);
+    }
+    ASSERT_FALSE(snap.memo.empty());
+    ASSERT_FALSE(snap.cell.empty());
+
+    nn::NetworkStepper stepper(network, 4);
+    memo::BatchMemoEngine engine(network, &bnn, options);
+    engine.beginBatch(4);
+    stepper.resetSlot(2);
+    engine.admitSlot(2, theta);
+    engine.restoreSlot(2, snap.memo);
+    stepper.restoreSlot(2, snap.cell);
+    // Restore leaves the admission's counters alone: the resumed slot
+    // reports reuse for ITS OWN steps only.
+    EXPECT_EQ(engine.slotReuseFraction(2), 0.0);
+    for (std::size_t t = cut; t < sequence.size(); ++t) {
+        const auto out = step_one(stepper, engine, 2, sequence[t]);
+        expectSequenceIdentical({reference[t]}, {out},
+                                "suffix step " + std::to_string(t));
+    }
+}
+
+// ------------------------------------------------- single-server contract
+
+TEST(SessionServingTest, WarmResumeMatchesUninterruptedRequest)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(41);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    const nn::Sequence full = makeSequence(14, config.inputSize, 42);
+    const auto turns = splitIntoTurns(full, 3);
+
+    serve::ServerOptions options;
+    options.slots = 4;
+    options.memo.predictor = memo::PredictorKind::Bnn;
+    options.memo.theta = 0.08;
+    serve::Server server(network, &bnn, options);
+
+    const auto [served, warm] = serveSession(server, turns, "chat-1");
+    const nn::Sequence reference =
+        serialReference(network, bnn, full, 0.08);
+    expectSequenceIdentical(reference, served, "3-turn warm session");
+    ASSERT_EQ(warm.size(), 3u);
+    EXPECT_FALSE(warm[0]); // first turn has nothing to resume
+    EXPECT_TRUE(warm[1]);
+    EXPECT_TRUE(warm[2]);
+    EXPECT_EQ(server.stats().warmResumed, 2u);
+    // The finished session's final snapshot is parked in the store.
+    EXPECT_EQ(server.sessionCount(), 1u);
+}
+
+TEST(SessionServingTest, OracleThetaZeroWarmResumeIsExact)
+{
+    // Oracle at theta 0 only reuses bit-identical outputs, so the
+    // 2-turn warm session must equal both the concatenated Oracle run
+    // and the exact baseline.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Gru);
+    nn::RnnNetwork network(config);
+    Rng rng(43);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    const nn::Sequence full = makeSequence(9, config.inputSize, 44);
+    const auto turns = splitIntoTurns(full, 2);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memo.predictor = memo::PredictorKind::Oracle;
+    options.memo.theta = 0.0;
+    serve::Server server(network, &bnn, options);
+
+    const auto [served, warm] = serveSession(server, turns, "oracle-s");
+    expectSequenceIdentical(
+        serialReference(network, bnn, full, 0.0,
+                        memo::PredictorKind::Oracle),
+        served, "oracle warm session");
+    expectSequenceIdentical(network.forwardBaseline(full), served,
+                            "oracle theta-0 vs exact baseline");
+    EXPECT_TRUE(warm[1]);
+}
+
+TEST(SessionServingTest, ExactServerWarmStartsRecurrentState)
+{
+    // A non-memoized server has no memo table, but the session still
+    // carries the recurrent rows: a 2-turn session equals the
+    // uninterrupted exact forward.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(45);
+    nn::initNetwork(network, rng);
+
+    const nn::Sequence full = makeSequence(11, config.inputSize, 46);
+    const auto turns = splitIntoTurns(full, 2);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memoized = false;
+    serve::Server server(network, nullptr, options);
+
+    const auto [served, warm] = serveSession(server, turns, "exact-s");
+    expectSequenceIdentical(network.forwardBaseline(full), served,
+                            "exact warm session");
+    EXPECT_TRUE(warm[1]);
+}
+
+TEST(SessionServingTest, NoSessionIdStaysColdAndStoresNothing)
+{
+    // Untagged requests must be bit-identical to a server with sessions
+    // disabled — i.e. every request starts cold — and must never touch
+    // the store.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(47);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    const nn::Sequence full = makeSequence(12, config.inputSize, 48);
+    const auto turns = splitIntoTurns(full, 2);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memo.theta = 0.08;
+    serve::Server server(network, &bnn, options);
+
+    const auto [served, warm] = serveSession(server, turns, "");
+    EXPECT_FALSE(warm[0]);
+    EXPECT_FALSE(warm[1]);
+    EXPECT_EQ(server.sessionCount(), 0u);
+    EXPECT_EQ(server.stats().warmResumed, 0u);
+    // Each turn evaluated as its own cold request.
+    nn::Sequence cold;
+    for (const auto &turn : turns)
+        for (const auto &frame :
+             serialReference(network, bnn, turn, 0.08))
+            cold.push_back(frame);
+    expectSequenceIdentical(cold, served, "untagged turns");
+}
+
+TEST(SessionServingTest, EvictedSessionFallsBackCold)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(49);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    const nn::Sequence full = makeSequence(10, config.inputSize, 50);
+    const auto turns = splitIntoTurns(full, 2);
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memo.theta = 0.08;
+    options.sessionCapacity = 1; // one live session fleet-wide
+    serve::Server server(network, &bnn, options);
+
+    // Session A turn 1, then session B turn 1: B evicts A.
+    serve::Request a1;
+    a1.input = turns[0];
+    a1.sessionId = "A";
+    serve::Server::collect(server.enqueue(std::move(a1)));
+    serve::Request b1;
+    b1.input = makeSequence(5, config.inputSize, 51);
+    b1.sessionId = "B";
+    serve::Server::collect(server.enqueue(std::move(b1)));
+    EXPECT_EQ(server.sessionEvictions(), 1u);
+    EXPECT_EQ(server.sessionCount(), 1u);
+
+    // Session A turn 2 finds nothing: cold start, correct output for
+    // the turn evaluated in isolation, warmResumed false.
+    serve::Request a2;
+    a2.input = turns[1];
+    a2.sessionId = "A";
+    const serve::Response response =
+        serve::Server::collect(server.enqueue(std::move(a2)));
+    EXPECT_FALSE(response.warmResumed);
+    expectSequenceIdentical(
+        serialReference(network, bnn, turns[1], 0.08),
+        response.output, "evicted session turn 2");
+}
+
+TEST(SessionServingTest, WorkerCountDoesNotChangeWarmOutputs)
+{
+    // Several sessions in flight at once (their turns interleave in the
+    // panel), served under 1 and 4 workers: all outputs bitwise equal
+    // the concatenated serial references.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(53);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    constexpr std::size_t kSessions = 5;
+    constexpr std::size_t kTurns = 3;
+    std::vector<nn::Sequence> fulls;
+    std::vector<std::vector<nn::Sequence>> turns;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+        fulls.push_back(
+            makeSequence(9 + s, config.inputSize, 500 + s));
+        turns.push_back(splitIntoTurns(fulls.back(), kTurns));
+    }
+
+    for (const std::size_t workers : {1u, 4u}) {
+        serve::ServerOptions options;
+        options.slots = 4;
+        options.workers = workers;
+        options.memo.theta = 0.08;
+        serve::Server server(network, &bnn, options);
+
+        // Round-by-round: submit turn t of every session, then wait for
+        // all of them, so each session's turns stay sequential while
+        // different sessions share panels.
+        std::vector<nn::Sequence> served(kSessions);
+        for (std::size_t t = 0; t < kTurns; ++t) {
+            std::vector<std::future<serve::Response>> futures;
+            for (std::size_t s = 0; s < kSessions; ++s) {
+                serve::Request request;
+                request.input = turns[s][t];
+                request.sessionId = "s" + std::to_string(s);
+                futures.push_back(server.enqueue(std::move(request)));
+            }
+            for (std::size_t s = 0; s < kSessions; ++s) {
+                serve::Response response =
+                    serve::Server::collect(futures[s]);
+                EXPECT_EQ(response.warmResumed, t > 0)
+                    << "session " << s << " turn " << t;
+                for (auto &frame : response.output)
+                    served[s].push_back(std::move(frame));
+            }
+        }
+        for (std::size_t s = 0; s < kSessions; ++s)
+            expectSequenceIdentical(
+                serialReference(network, bnn, fulls[s], 0.08),
+                served[s],
+                "workers " + std::to_string(workers) + " session " +
+                    std::to_string(s));
+    }
+}
+
+// --------------------------------------------------------- fleet contract
+
+TEST(SessionFleetTest, SameSessionIdNeverCrossesModels)
+{
+    // Two models, the SAME session id on both, turns interleaved: each
+    // model's warm resume continues its OWN state. The models have
+    // different widths, so any cross-model restore would trip the
+    // shape asserts — completing with correct per-model outputs proves
+    // the (model, id) keying.
+    TestModel lstm(servingConfig(nn::CellType::Lstm), 31);
+    nn::RnnConfig gru_config = servingConfig(nn::CellType::Gru);
+    gru_config.inputSize = 5;
+    gru_config.hiddenSize = 7;
+    gru_config.layers = 1;
+    TestModel gru(gru_config, 37);
+
+    const nn::Sequence lstm_full =
+        makeSequence(12, lstm.config.inputSize, 61);
+    const nn::Sequence gru_full =
+        makeSequence(10, gru.config.inputSize, 62);
+    const auto lstm_turns = splitIntoTurns(lstm_full, 2);
+    const auto gru_turns = splitIntoTurns(gru_full, 2);
+
+    serve::ModelRegistry registry;
+    serve::ModelSpec spec_lstm;
+    spec_lstm.name = "lstm";
+    spec_lstm.network = &lstm.network;
+    spec_lstm.bnn = &lstm.bnn;
+    spec_lstm.memo.theta = 0.08;
+    serve::ModelSpec spec_gru;
+    spec_gru.name = "gru";
+    spec_gru.network = &gru.network;
+    spec_gru.bnn = &gru.bnn;
+    spec_gru.memo.theta = 0.12;
+    const std::size_t id_lstm = registry.add(spec_lstm);
+    const std::size_t id_gru = registry.add(spec_gru);
+
+    serve::FleetOptions options;
+    options.slots = 4;
+    serve::FleetServer fleet(registry, options);
+
+    nn::Sequence lstm_served;
+    nn::Sequence gru_served;
+    for (std::size_t t = 0; t < 2; ++t) {
+        serve::Request lr;
+        lr.input = lstm_turns[t];
+        lr.sessionId = "shared-id";
+        serve::Request gr;
+        gr.input = gru_turns[t];
+        gr.sessionId = "shared-id";
+        auto lf = fleet.enqueue(id_lstm, std::move(lr));
+        auto gf = fleet.enqueue(id_gru, std::move(gr));
+        serve::Response lres = serve::FleetServer::collect(lf);
+        serve::Response gres = serve::FleetServer::collect(gf);
+        EXPECT_EQ(lres.warmResumed, t > 0);
+        EXPECT_EQ(gres.warmResumed, t > 0);
+        for (auto &frame : lres.output)
+            lstm_served.push_back(std::move(frame));
+        for (auto &frame : gres.output)
+            gru_served.push_back(std::move(frame));
+    }
+
+    expectSequenceIdentical(
+        serialReference(lstm.network, lstm.bnn, lstm_full, 0.08),
+        lstm_served, "fleet lstm session");
+    expectSequenceIdentical(
+        serialReference(gru.network, gru.bnn, gru_full, 0.12),
+        gru_served, "fleet gru session");
+    // One live session per model shard.
+    EXPECT_EQ(fleet.sessionCount(id_lstm), 1u);
+    EXPECT_EQ(fleet.sessionCount(id_gru), 1u);
+    EXPECT_EQ(fleet.sessionEvictions(), 0u);
+}
+
+// --------------------------------------- live autopilot + resetStats smoke
+
+TEST(SessionServingTest, AutopilotSurvivesMidFlightResetStats)
+{
+    // Smoke the satellite fix in vivo: an autopilot-enabled server
+    // whose stats window is reset between waves must keep serving and
+    // keep its floor inside the ladder (a counter wrap would slam it to
+    // the top rung and pin it there). The wrap guard's exact semantics
+    // are pinned in theta_controller_test.
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(71);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+
+    memo::TunePoint points[3];
+    points[0].theta = 0.0;
+    points[0].reuse = 0.05;
+    points[0].accuracyLoss = 0.0;
+    points[1].theta = 0.1;
+    points[1].reuse = 0.1;
+    points[1].accuracyLoss = 1.0;
+    points[2].theta = 0.2;
+    points[2].reuse = 0.2;
+    points[2].accuracyLoss = 2.0;
+
+    serve::ServerOptions options;
+    options.slots = 2;
+    options.memo.theta = 0.05;
+    options.autopilot.enabled = true;
+    options.autopilot.curve = memo::TuneCurve::fromPoints(points);
+    options.autopilot.maxAccuracyLoss = 5.0;
+    options.autopilot.controlIntervalMs = 0.0;
+    serve::Server server(network, &bnn, options);
+
+    for (std::size_t wave = 0; wave < 3; ++wave) {
+        std::vector<std::future<serve::Response>> futures;
+        for (std::size_t b = 0; b < 6; ++b) {
+            serve::Request request;
+            request.input =
+                makeSequence(4 + b % 3, config.inputSize,
+                             wave * 100 + b);
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+        for (auto &future : futures)
+            EXPECT_NO_THROW(serve::Server::collect(future));
+        // Mid-flight window reset: counters the controller baselined
+        // against drop to zero.
+        server.resetStats();
+    }
+    server.drain();
+    EXPECT_GE(server.thetaFloor(), 0.0);
+    EXPECT_LE(server.thetaFloor(), 0.2);
+    EXPECT_LE(server.maxThetaFloorSeen(), 0.2);
+}
+
+} // namespace
+} // namespace nlfm

@@ -289,6 +289,44 @@ TEST(ThetaController, DifferencesCumulativeCounters)
     EXPECT_DOUBLE_EQ(controller.floor(), 0.0);
 }
 
+TEST(ThetaController, SurvivesMidFlightStatsReset)
+{
+    serve::ThetaController controller(autopilotOptions(), 0.05);
+
+    // Establish a non-zero counter baseline.
+    ASSERT_TRUE(controller.tick(pressureSignals(5)));
+    EXPECT_DOUBLE_EQ(controller.floor(), 0.1);
+
+    // Server::resetStats() mid-flight: the cumulative counters the
+    // controller reads drop BELOW its baseline. The unsigned
+    // difference 0 - 5 would wrap to ~2^64 "new sheds" and hold the
+    // floor up under genuinely slack conditions; the guard rebaselines
+    // from zero instead, so this tick reads 0 new sheds and unwinds.
+    EXPECT_TRUE(controller.tick(slackSignals(0)));
+    EXPECT_DOUBLE_EQ(controller.floor(), 0.0);
+}
+
+TEST(ThetaController, CountsPostResetEventsAsPressure)
+{
+    serve::ThetaController controller(autopilotOptions(), 0.05);
+    ASSERT_TRUE(controller.tick(pressureSignals(5)));
+    EXPECT_DOUBLE_EQ(controller.floor(), 0.1);
+
+    // Reset AND 2 new sheds since: the counter is below the baseline
+    // but not zero. Rebaselining from zero counts those 2 sheds as the
+    // window's pressure — they really happened after the reset.
+    serve::ThetaSignals pressure = pressureSignals(2);
+    pressure.deadlineMissed = 3;
+    EXPECT_TRUE(controller.tick(pressure));
+    EXPECT_DOUBLE_EQ(controller.floor(), 0.2);
+
+    // Same wrap guard for the deadline-miss counter: 0 is below the
+    // baseline of 3, so a wrap would read ~2^64 misses and climb; the
+    // guard reads 0 and unwinds.
+    EXPECT_TRUE(controller.tick(slackSignals(2)));
+    EXPECT_DOUBLE_EQ(controller.floor(), 0.1);
+}
+
 TEST(ThetaController, RateLimitsDecisions)
 {
     serve::ThetaAutopilotOptions options = autopilotOptions();
