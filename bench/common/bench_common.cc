@@ -38,6 +38,11 @@ parseBenchArgs(int argc, const char *const *argv,
     cli.addString("out", "",
                   "JSON artifact path (empty = bench default; "
                   "bench_multi_model_load writes nothing without it)");
+    cli.addString("trace-out", "",
+                  "serving benches: run one extra telemetry-enabled "
+                  "load point and write its Chrome trace-event JSON "
+                  "here (load in Perfetto), printing the metrics "
+                  "exposition alongside");
     if (!cli.parse(argc, argv))
         std::exit(0);
 
@@ -53,6 +58,7 @@ parseBenchArgs(int argc, const char *const *argv,
     options.autopilotRamp = cli.getBool("autopilot-ramp");
     options.sessionTurns = cli.getBool("session-turns");
     options.out = cli.getString("out");
+    options.traceOut = cli.getString("trace-out");
 
     const std::string networks = cli.getString("networks");
     if (networks == "all") {

@@ -57,6 +57,11 @@ struct BenchOptions
     /// in their --help; bench_multi_model_load only writes when given
     /// --out).
     std::string out;
+    /// Serving benches only: non-empty runs one extra load point with
+    /// telemetry (metrics + tracer) enabled and writes its Chrome
+    /// trace-event JSON here, printing the Prometheus-style exposition
+    /// alongside (bench_serving_load --trace-out).
+    std::string traceOut;
 };
 
 /**

@@ -468,6 +468,72 @@ main(int argc, char **argv)
                     .c_str());
 
     // ------------------------------------------------------------------
+    // Telemetry pass (--trace-out): one extra run at the heaviest load
+    // multiplier with the metrics registry + driver tracer enabled.
+    // The trace exports after stop() (the tracer's single-writer
+    // contract) and the exposition prints alongside, so CI can
+    // validate both artifacts. The sweep above is untouched: those
+    // runs construct no Telemetry object at all.
+    if (!options.traceOut.empty()) {
+        serve::ServerOptions traced_options = server_options;
+        traced_options.telemetry.metrics = true;
+        traced_options.telemetry.trace = true;
+        const double offered = capacity * load_multipliers.back();
+        std::printf("\ntelemetry pass: offered %.2f/s, trace -> %s\n",
+                    offered, options.traceOut.c_str());
+        serve::Server server(network, &bnn, traced_options);
+        Rng trace_rng(seed++);
+        std::vector<std::future<serve::Response>> futures;
+        futures.reserve(requests.size());
+        auto next_arrival = serve::Clock::now();
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const double gap_s =
+                -std::log(1.0 - trace_rng.uniform()) /
+                std::max(offered, 1e-9);
+            next_arrival += std::chrono::duration_cast<
+                serve::Clock::duration>(
+                std::chrono::duration<double>(gap_s));
+            std::this_thread::sleep_until(next_arrival);
+            serve::Request request;
+            request.input = requests[i];
+            request.theta = i % 2 == 0 ? 0.01 : 0.05;
+            request.deadlineMs = deadline_ms;
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+        server.drain();
+        for (auto &future : futures) {
+            try {
+                serve::Server::collect(future);
+            } catch (const serve::ShedError &) {
+            }
+        }
+        server.stop();
+        const serve::Telemetry *telemetry = server.telemetry();
+        nlfm_assert(telemetry != nullptr && telemetry->tracer(),
+                    "telemetry pass constructed without telemetry");
+        std::FILE *trace_file =
+            std::fopen(options.traceOut.c_str(), "w");
+        if (trace_file) {
+            const std::string trace_json = telemetry->traceJson();
+            std::fwrite(trace_json.data(), 1, trace_json.size(),
+                        trace_file);
+            std::fclose(trace_file);
+            std::printf("wrote %s (%llu spans recorded, %llu "
+                        "dropped)\n",
+                        options.traceOut.c_str(),
+                        static_cast<unsigned long long>(
+                            telemetry->tracer()->recorded()),
+                        static_cast<unsigned long long>(
+                            telemetry->tracer()->dropped()));
+        } else {
+            std::printf("could not open %s for writing\n",
+                        options.traceOut.c_str());
+        }
+        std::printf("\nmetrics exposition (traced load point):\n%s\n",
+                    telemetry->registry().exposition().c_str());
+    }
+
+    // ------------------------------------------------------------------
     // Admission-policy sweep (--admission-sweep): FIFO vs EDF +
     // predictive + expired shedding on a tight/loose deadline mix, at
     // and beyond the queueing knee. The EDF server's calibration is

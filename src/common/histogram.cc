@@ -1,6 +1,7 @@
 #include "common/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -28,8 +29,12 @@ Histogram::add(double value, std::uint64_t weight)
     std::size_t index;
     if (pos < 0.0) {
         index = 0;
+        underflow_ += weight;
     } else {
-        index = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+        const auto raw = static_cast<std::size_t>(pos);
+        index = std::min(raw, counts_.size() - 1);
+        if (raw >= counts_.size())
+            overflow_ += weight;
     }
     counts_[index] += weight;
     total_ += weight;
@@ -44,6 +49,8 @@ Histogram::merge(const Histogram &other)
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
 }
 
 std::uint64_t
@@ -94,6 +101,99 @@ Histogram::cdf(std::size_t index) const
 
 double
 Histogram::quantile(double q) const
+{
+    nlfm_assert(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    if (total_ == 0)
+        return lo_;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        below += counts_[i];
+        if (static_cast<double>(below) >=
+            q * static_cast<double>(total_)) {
+            return binHi(i);
+        }
+    }
+    return hi_;
+}
+
+LogHistogram::LogHistogram(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), logLo_(std::log(lo)),
+      invLogRatio_(static_cast<double>(bins) /
+                   (std::log(hi) - std::log(lo))),
+      counts_(bins, 0)
+{
+    nlfm_assert(bins >= 1, "histogram needs at least one bin");
+    nlfm_assert(lo > 0.0, "log histogram needs lo > 0, got ", lo);
+    nlfm_assert(hi > lo, "histogram range is empty: [", lo, ", ", hi, ")");
+}
+
+void
+LogHistogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+LogHistogram::add(double value, std::uint64_t weight)
+{
+    std::size_t index;
+    if (!(value >= lo_)) { // catches value < lo and NaN alike
+        index = 0;
+        underflow_ += weight;
+    } else {
+        const double pos = (std::log(value) - logLo_) * invLogRatio_;
+        const auto raw = static_cast<std::size_t>(pos);
+        index = std::min(raw, counts_.size() - 1);
+        // value >= hi lands at raw == bins (or beyond, or exactly at the
+        // boundary after rounding); treat the clamp as overflow only
+        // when the value truly sits outside [lo, hi).
+        if (value >= hi_)
+            overflow_ += weight;
+    }
+    counts_[index] += weight;
+    total_ += weight;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    nlfm_assert(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                    other.hi_ == hi_,
+                "merging incompatible histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+}
+
+std::uint64_t
+LogHistogram::count(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    return counts_[index];
+}
+
+double
+LogHistogram::binLo(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    return std::exp(logLo_ +
+                    static_cast<double>(index) / invLogRatio_);
+}
+
+double
+LogHistogram::binHi(std::size_t index) const
+{
+    nlfm_assert(index < counts_.size(), "bin index out of range");
+    if (index + 1 == counts_.size())
+        return hi_; // avoid exp() round-off at the top edge
+    return std::exp(logLo_ +
+                    static_cast<double>(index + 1) / invLogRatio_);
+}
+
+double
+LogHistogram::quantile(double q) const
 {
     nlfm_assert(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
     if (total_ == 0)

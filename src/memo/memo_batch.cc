@@ -1,5 +1,6 @@
 #include "memo/memo_batch.hh"
 
+#include <chrono>
 #include <limits>
 
 #if defined(__x86_64__)
@@ -478,6 +479,24 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
     const std::size_t stat_base = instance.instanceId * slotStride_;
     const std::size_t slots = rows.size();
 
+    // Phase-time attribution (setPhaseSink): local accumulators per
+    // call, flushed to the shared sink once at the end, so concurrent
+    // chunk workers only contend on three atomic adds per gate call.
+    // timed == false is the default and costs one branch per phase
+    // boundary.
+    GatePhaseTimes *const sink = phaseSink_;
+    const bool timed = sink != nullptr;
+    std::uint64_t probe_ns = 0;
+    std::uint64_t decide_ns = 0;
+    std::uint64_t commit_ns = 0;
+    const auto now_ns = [] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
+    std::uint64_t t_mark = timed ? now_ns() : 0;
+
     // One input binarization per live slot per timestep (the FMU input
     // vector of each sequence). thread_local so concurrent chunks never
     // share mutable predictor state and word buffers are reused across
@@ -494,6 +513,11 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
             inputs[i] = tensor::BitVector(width);
         inputs[i].assignConcat(x.row(rows[i]), h.row(rows[i]));
         input_words[i] = inputs[i].raw().data();
+    }
+    if (timed) {
+        const std::uint64_t t = now_ns();
+        probe_ns += t - t_mark; // input binarization is probe work
+        t_mark = t;
     }
 
     // thread_local scratch, one set per pool worker (see
@@ -581,8 +605,14 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
          n0 += kProbeNeuronBlock) {
         const std::size_t block =
             std::min(kProbeNeuronBlock, instance.neurons - n0);
+        if (timed)
+            t_mark = now_ns();
         tensor::bnnDotPanel(bgate.weights(), n0, block, input_words,
                             yb_panel);
+        if (timed) {
+            const std::uint64_t t = now_ns();
+            probe_ns += t - t_mark;
+        }
 
         for (std::size_t r = 0; r < block; ++r) {
             const std::size_t n = n0 + r;
@@ -603,6 +633,8 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
             // resolved immediately, misses are queued (the queued yb_t
             // stays readable in yb_row).
             std::size_t miss_count = 0;
+            if (timed)
+                t_mark = now_ns();
 #if defined(__x86_64__)
             if (vector_decide) {
                 // vector_decide implies every slot sits at the same
@@ -646,6 +678,11 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
             // Phase 2 (Eqs. 15-17): full evaluation of the missing
             // slots through the blocked kernel, one weight-row read for
             // all of them; refresh the whole entry.
+            if (timed) {
+                const std::uint64_t t = now_ns();
+                decide_ns += t - t_mark;
+                t_mark = t;
+            }
             if (miss_count == 0)
                 continue;
 
@@ -685,6 +722,8 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
                                 forward.data(), recurrent.data(), yb_row,
                                 y_wrow, bnn_wrow, draw_row, valid_wrow,
                                 out_rows.data(), n);
+                if (timed)
+                    commit_ns += now_ns() - t_mark;
                 continue;
             }
 #endif
@@ -702,7 +741,14 @@ BatchMemoEngine::evaluateBnnBatch(const nn::GateInstance &instance,
                     dfp_row[e] = 0.0;
                 valid_wrow[e] = 1;
             }
+            if (timed)
+                commit_ns += now_ns() - t_mark;
         }
+    }
+    if (timed) {
+        sink->probeNs.fetch_add(probe_ns, std::memory_order_relaxed);
+        sink->decideNs.fetch_add(decide_ns, std::memory_order_relaxed);
+        sink->commitNs.fetch_add(commit_ns, std::memory_order_relaxed);
     }
 }
 

@@ -28,12 +28,30 @@
 #ifndef NLFM_MEMO_MEMO_BATCH_HH
 #define NLFM_MEMO_MEMO_BATCH_HH
 
+#include <atomic>
+
 #include "common/aligned.hh"
 #include "memo/memo_engine.hh"
 #include "nn/batch_evaluator.hh"
 
 namespace nlfm::memo
 {
+
+/// Aggregate wall-time attribution of the BNN gate-evaluation phases,
+/// accumulated by BatchMemoEngine when a sink is attached
+/// (setPhaseSink). Probe covers input binarization + the bit-packed
+/// yb_t panel kernel; decide the per-neuron reuse decisions (Phase 1);
+/// commit the miss FMA panels + table refresh (Phase 2). Atomic
+/// because a serving tick's chunks may run on concurrent pool workers,
+/// each flushing its per-call totals once. Consumers (the serving
+/// tracer) difference the counters between reads — values are
+/// cumulative ns since attachment.
+struct GatePhaseTimes
+{
+    std::atomic<std::uint64_t> probeNs{0};
+    std::atomic<std::uint64_t> decideNs{0};
+    std::atomic<std::uint64_t> commitNs{0};
+};
 
 /// Dense snapshot of one slot's memo table — every neuron's y_m / yb_m /
 /// delta_b / valid byte, gathered out of the engine's strided SoA
@@ -130,6 +148,15 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
     /// Reuse fraction of one sequence slot (since its last reset).
     double slotReuseFraction(std::size_t slot) const;
 
+    /// Attach (or detach, with nullptr — the default) the phase-time
+    /// sink. Null means ZERO timing overhead: the hot loop's clock
+    /// reads sit behind one branch on this pointer. Enabled, the BNN
+    /// path adds two clock reads per neuron row plus two per probe
+    /// block — serving-telemetry cost, opt-in like everything else.
+    /// The Oracle path records nothing (it has no probe/decide split).
+    /// The sink must outlive the engine or be detached first.
+    void setPhaseSink(GatePhaseTimes *sink) { phaseSink_ = sink; }
+
   private:
     void evaluateOracleBatch(const nn::GateInstance &instance,
                              const nn::GateParams &params,
@@ -147,6 +174,9 @@ class BatchMemoEngine : public nn::BatchGateEvaluator
     nn::BinarizedNetwork *bnn_;
     MemoOptions options_;
     Q16 thetaQ_;
+
+    /// Phase-time sink (setPhaseSink); null = timing off.
+    GatePhaseTimes *phaseSink_ = nullptr;
 
     std::size_t batch_ = 0;
 

@@ -42,7 +42,10 @@ Admission::takeSession(std::size_t model, const std::string &id)
 {
     if (sessions_ == nullptr)
         return std::nullopt;
-    return sessions_->take(model, id);
+    auto state = sessions_->take(model, id);
+    if (telemetry_ != nullptr)
+        telemetry_->onSessionLookup(model, state.has_value());
+    return state;
 }
 
 void
@@ -51,7 +54,9 @@ Admission::storeSession(std::size_t model, const std::string &id,
 {
     if (sessions_ == nullptr)
         return;
-    sessions_->put(model, id, std::move(state));
+    const bool evicted = sessions_->put(model, id, std::move(state));
+    if (evicted && telemetry_ != nullptr)
+        telemetry_->onSessionEviction();
 }
 
 std::size_t
@@ -84,6 +89,8 @@ Admission::setThetaFloor(std::size_t model, double floor)
 {
     nlfm_assert(model < models_.size(), "model id out of range");
     thetaFloors_[model].store(floor, std::memory_order_relaxed);
+    if (telemetry_ != nullptr)
+        telemetry_->onThetaFloor(model, floor);
 }
 
 double
@@ -171,6 +178,8 @@ Admission::submit(std::size_t model, Request request)
         finishOne();
         return future;
     }
+    if (telemetry_ != nullptr)
+        telemetry_->onQueueDepth(model, queues_[model]->size());
     signalWork();
     return future;
 }
@@ -193,6 +202,8 @@ Admission::pop(std::size_t model, QueuedRequest &out)
     auto item = queues_[model]->tryPop();
     if (!item)
         return Pop::Empty;
+    if (telemetry_ != nullptr)
+        telemetry_->onQueueDepth(model, queues_[model]->size());
 
     const double deadline_ms = item->request.deadlineMs;
     if (deadline_ms > 0.0 &&
@@ -224,8 +235,8 @@ Admission::pop(std::size_t model, QueuedRequest &out)
 }
 
 void
-Admission::complete(std::size_t model, SlotState &state, double theta,
-                    double reuse)
+Admission::complete(std::size_t model, std::size_t slot,
+                    SlotState &state, double theta, double reuse)
 {
     nlfm_assert(model < models_.size(), "model id out of range");
     const Clock::time_point now = Clock::now();
@@ -250,6 +261,29 @@ Admission::complete(std::size_t model, SlotState &state, double theta,
     aggregate_->record(response);
     if (!modelStats_.empty())
         modelStats_[model]->record(response);
+    if (telemetry_ != nullptr) {
+        telemetry_->onComplete(model, response);
+        // Per-request lifecycle spans, from the SAME timestamps the
+        // Response latency math just used, so trace span sums
+        // reconcile with ServingStats means. complete() runs on the
+        // driver thread, which is the tracer's recording contract.
+        if (DriverTracer *tracer = telemetry_->tracer()) {
+            TraceSpan span;
+            span.slot = static_cast<std::uint32_t>(slot);
+            span.model = static_cast<std::uint32_t>(model);
+            span.requestId = response.id;
+            span.theta = static_cast<float>(response.theta);
+            span.warmResumed = response.warmResumed;
+            span.phase = TracePhase::Queue;
+            span.startNs = tracer->toNs(state.enqueueTime);
+            span.durNs = tracer->toNs(state.admitTime) - span.startNs;
+            tracer->record(span);
+            span.phase = TracePhase::Service;
+            span.startNs = tracer->toNs(state.admitTime);
+            span.durNs = tracer->toNs(now) - span.startNs;
+            tracer->record(span);
+        }
+    }
     state.promise.set_value(std::move(response));
     finishOne();
 }
@@ -326,6 +360,8 @@ Admission::shed(QueuedRequest &&item, std::size_t model,
     if (!modelStats_.empty())
         modelStats_[model]->recordShed(reason);
     aggregate_->recordShed(reason);
+    if (telemetry_ != nullptr)
+        telemetry_->onShed(model, reason);
     item.promise.set_exception(std::make_exception_ptr(ShedError(
         config_.server +
         (reason == ShedReason::Expired

@@ -73,6 +73,7 @@
 #include "serve/scheduler.hh"
 #include "serve/session_store.hh"
 #include "serve/stats.hh"
+#include "serve/telemetry.hh"
 
 namespace nlfm::serve
 {
@@ -151,6 +152,17 @@ class Admission
     void attachStats(ServingStats &aggregate,
                      std::vector<ServingStats *> per_model = {});
 
+    /// Late-bind the telemetry bundle (nullptr = telemetry off, the
+    /// default). When attached, the admission hooks — the single choke
+    /// points where ServingStats is updated — also publish to the
+    /// registry, so exposition counters reconcile exactly with
+    /// StatsCounters, and complete() records per-request queue/service
+    /// trace spans from the same timestamps as the Response math.
+    void attachTelemetry(Telemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
     std::size_t modelCount() const { return models_.size(); }
 
     // --------------------------------------------------- theta floor
@@ -192,9 +204,11 @@ class Admission
     Pop pop(std::size_t model, QueuedRequest &out);
 
     /// Assemble, record (aggregate + per-model), and deliver the
-    /// Response of a finished slot, then count it toward drain().
-    void complete(std::size_t model, SlotState &state, double theta,
-                  double reuse);
+    /// Response of the finished slot @p slot, then count it toward
+    /// drain(). @p slot labels telemetry (trace spans); the response
+    /// itself is built from @p state alone.
+    void complete(std::size_t model, std::size_t slot, SlotState &state,
+                  double theta, double reuse);
 
     // -------------------------------------------- session warm-start
 
@@ -258,6 +272,8 @@ class Admission
     /// Stats sinks, late-bound by attachStats (see the file comment).
     ServingStats *aggregate_ = nullptr;
     std::vector<ServingStats *> modelStats_;
+    /// Telemetry bundle, late-bound by attachTelemetry; null = off.
+    Telemetry *telemetry_ = nullptr;
     std::vector<std::unique_ptr<RequestQueue>> queues_;
     /// Per-model autopilot floors (0 = none). Array of atomics rather
     /// than vector: atomics are not movable.

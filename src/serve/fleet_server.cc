@@ -107,6 +107,23 @@ FleetServer::FleetServer(const ModelRegistry &registry,
         }
         models_.push_back(std::move(rt));
     }
+    if (options_.telemetry.enabled()) {
+        std::vector<std::string> names;
+        names.reserve(models_.size());
+        for (const ModelRuntime &rt : models_)
+            names.push_back(rt.spec.name);
+        telemetry_ = std::make_unique<Telemetry>(options_.telemetry,
+                                                 std::move(names));
+        admission_.attachTelemetry(telemetry_.get());
+        // One shared phase sink: the counters are cumulative ns across
+        // all engines, which is exactly what the tick attribution
+        // differences. Only pay the clock reads when the tracer can
+        // show them.
+        if (telemetry_->tracer() != nullptr)
+            for (ModelRuntime &rt : models_)
+                if (rt.engine)
+                    rt.engine->setPhaseSink(&phaseTimes_);
+    }
     if (options_.workers > 1)
         pool_ = std::make_unique<ThreadPool>(options_.workers);
     // Same effective-chunk-size rule as the single-model Server: cap so
@@ -209,8 +226,19 @@ FleetServer::fleetStats() const
     for (std::size_t m = 0; m < models_.size(); ++m) {
         snap.names.push_back(models_[m].spec.name);
         snap.perModel.push_back(modelStats_[m].snapshot());
+        for (const ThetaDecision &decision : thetaAudit(m))
+            snap.thetaAudit.push_back({models_[m].spec.name, decision});
     }
     return snap;
+}
+
+std::vector<ThetaDecision>
+FleetServer::thetaAudit(std::size_t model) const
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    return models_[model].controller
+               ? models_[model].controller->audit()
+               : std::vector<ThetaDecision>{};
 }
 
 void
@@ -286,6 +314,8 @@ FleetServer::controllerTick()
 void
 FleetServer::admitPending()
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
     // Snapshot queue depths once (one lock per queue); each admission
     // below decrements its model's count locally. Arrivals racing this
     // pass are picked up by the next driver-loop iteration.
@@ -307,13 +337,19 @@ FleetServer::admitPending()
         // instead — it consumed no machine time.
         if (outcome != Admission::Pop::Admit)
             continue;
+        const double charged_ms =
+            scheduler_.costCharging()
+                ? static_cast<double>(item.request.input.size()) *
+                      rt.spec.calibratedStepCostMs
+                : 0.0;
         if (scheduler_.costCharging())
-            scheduler_.charge(
-                m, static_cast<double>(item.request.input.size()) *
-                       rt.spec.calibratedStepCostMs);
+            scheduler_.charge(m, charged_ms);
+        if (telemetry_ != nullptr)
+            telemetry_->onFleetCharge(m, charged_ms);
         // Frame widths were validated at submit(). Theta is the merge
         // of the request's own value with this model's autopilot floor.
         const double theta = admission_.mergedTheta(m, item.request);
+        const std::int64_t t_admit = tracer ? tracer->nowNs() : 0;
         const std::size_t slot = scheduler_.admit(m, std::move(item));
         rt.stepper->resetSlot(slot);
         if (rt.engine)
@@ -325,13 +361,40 @@ FleetServer::admitPending()
         SlotState &admitted = scheduler_.slot(slot);
         if (admission_.sessionsEnabled() &&
             !admitted.request.sessionId.empty()) {
+            const std::int64_t t_restore =
+                tracer ? tracer->nowNs() : 0;
             if (auto snap =
                     admission_.takeSession(m, admitted.request.sessionId)) {
                 if (rt.engine && !snap->memo.empty())
                     rt.engine->restoreSlot(slot, snap->memo);
                 rt.stepper->restoreSlot(slot, snap->cell);
                 admitted.warmStart = true;
+                if (tracer != nullptr) {
+                    TraceSpan span;
+                    span.phase = TracePhase::SessionRestore;
+                    span.startNs = t_restore;
+                    span.durNs = tracer->nowNs() - t_restore;
+                    span.slot = static_cast<std::uint32_t>(slot);
+                    span.model = static_cast<std::uint32_t>(m);
+                    span.requestId = admitted.id;
+                    span.warmResumed = true;
+                    tracer->record(span);
+                }
             }
+        }
+        if (tracer != nullptr) {
+            TraceSpan span;
+            span.phase = TracePhase::Admit;
+            span.startNs = t_admit;
+            span.durNs = tracer->nowNs() - t_admit;
+            span.slot = static_cast<std::uint32_t>(slot);
+            span.model = static_cast<std::uint32_t>(m);
+            span.requestId = admitted.id;
+            span.theta = static_cast<float>(
+                rt.engine ? rt.engine->slotTheta(slot)
+                          : servedTheta(admitted.request));
+            span.warmResumed = admitted.warmStart;
+            tracer->record(span);
         }
         // Zero-length sequences complete in place, never hold a row.
         if (admitted.request.input.empty())
@@ -342,7 +405,10 @@ FleetServer::admitPending()
 void
 FleetServer::tick()
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
     // Stage each model's active input frames into its own panel.
+    const std::int64_t t_stage = tracer ? tracer->nowNs() : 0;
     for (std::size_t m = 0; m < models_.size(); ++m) {
         const auto rows = scheduler_.activeRows(m);
         if (rows.empty())
@@ -354,6 +420,14 @@ FleetServer::tick()
             std::copy(frame.begin(), frame.end(),
                       input.row(slot).begin());
         }
+    }
+    const std::int64_t t_step = tracer ? tracer->nowNs() : 0;
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Stage;
+        span.startNs = t_stage;
+        span.durNs = t_step - t_stage;
+        tracer->record(span);
     }
 
     // Flatten every model's slot-range chunks into one task list and
@@ -394,6 +468,42 @@ FleetServer::tick()
         for (std::size_t c = 0; c < tasks.size(); ++c)
             run_task(c);
     }
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Step;
+        span.startNs = t_step;
+        span.durNs = tracer->nowNs() - t_step;
+        tracer->record(span);
+        // Attribute the step to probe/decide/commit from the shared
+        // phase counters, laid back to back inside the step window.
+        // With pool workers the phase times are summed CPU ns across
+        // workers (and across every model's engine), so they can
+        // exceed the step's wall duration — attribution, not timeline.
+        std::int64_t cursor = t_step;
+        const auto sub = [&](TracePhase phase, std::uint64_t total,
+                             std::uint64_t &last) {
+            const std::int64_t dur =
+                static_cast<std::int64_t>(total - last);
+            last = total;
+            if (dur <= 0)
+                return;
+            TraceSpan attribution;
+            attribution.phase = phase;
+            attribution.startNs = cursor;
+            attribution.durNs = dur;
+            tracer->record(attribution);
+            cursor += dur;
+        };
+        sub(TracePhase::Probe,
+            phaseTimes_.probeNs.load(std::memory_order_relaxed),
+            lastProbeNs_);
+        sub(TracePhase::Decide,
+            phaseTimes_.decideNs.load(std::memory_order_relaxed),
+            lastDecideNs_);
+        sub(TracePhase::Commit,
+            phaseTimes_.commitNs.load(std::memory_order_relaxed),
+            lastCommitNs_);
+    }
 
     // Collect outputs; completions release slots, which invalidates the
     // active-row spans, so gather finished slots first.
@@ -415,6 +525,9 @@ FleetServer::tick()
 void
 FleetServer::completeSlot(std::size_t slot)
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
+    const std::int64_t t_complete = tracer ? tracer->nowNs() : 0;
     SlotState &state = scheduler_.slot(slot);
     const std::size_t model = state.model;
     ModelRuntime &rt = models_[model];
@@ -422,6 +535,8 @@ FleetServer::completeSlot(std::size_t slot)
                                    : servedTheta(state.request);
     const double reuse =
         rt.engine ? rt.engine->slotReuseFraction(slot) : 0.0;
+    const std::uint64_t request_id = state.id;
+    const bool warm = state.warmStart;
     // Snapshot the finished slot under (model, session id) for the
     // session's next turn. Exact models still warm-start recurrent
     // state; their memo half stays empty.
@@ -433,13 +548,25 @@ FleetServer::completeSlot(std::size_t slot)
         admission_.storeSession(model, state.request.sessionId,
                                 std::move(snap));
     }
-    admission_.complete(model, state, theta, reuse);
+    admission_.complete(model, slot, state, theta, reuse);
     // Restore this model's default theta while the slot sits free, so a
     // stale override does not pin the engine's scalar decision path
     // (admission re-resets it anyway).
     if (rt.engine)
         rt.engine->setSlotTheta(slot, rt.engine->theta());
     scheduler_.release(slot);
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Complete;
+        span.startNs = t_complete;
+        span.durNs = tracer->nowNs() - t_complete;
+        span.slot = static_cast<std::uint32_t>(slot);
+        span.model = static_cast<std::uint32_t>(model);
+        span.requestId = request_id;
+        span.theta = static_cast<float>(theta);
+        span.warmResumed = warm;
+        tracer->record(span);
+    }
 }
 
 } // namespace nlfm::serve

@@ -100,6 +100,12 @@ struct FleetOptions
     /// Request::sessionId, and untagged traffic is bit-identical
     /// either way.
     std::size_t sessionCapacity = 64;
+
+    /// Serving telemetry (serve/telemetry.hh): metrics registry and/or
+    /// driver-tick tracer, fleet-wide (per-model series carry each
+    /// model's registry name). Both off — the default — constructs no
+    /// telemetry state at all.
+    TelemetryOptions telemetry{};
 };
 
 /// Continuous-batching server for a fleet of resident models.
@@ -185,6 +191,15 @@ class FleetServer
         return admission_.sessionEvictions();
     }
 
+    /// Telemetry bundle; null when FleetOptions::telemetry is all off.
+    /// Registry reads are any-thread; trace export is post-stop.
+    Telemetry *telemetry() { return telemetry_.get(); }
+    const Telemetry *telemetry() const { return telemetry_.get(); }
+
+    /// Oldest-first autopilot decision audit of one model (empty when
+    /// its autopilot is off or auditCapacity == 0). Any thread.
+    std::vector<ThetaDecision> thetaAudit(std::size_t model) const;
+
   private:
     /// Per-model runtime: the stepper/engine pair sized to the shared
     /// pool, plus its spec (the model's queue lives in admission_).
@@ -228,6 +243,16 @@ class FleetServer
     /// drain bookkeeping, and the lost-wakeup-safe idle-driver wake
     /// channel.
     Admission admission_;
+
+    /// Telemetry bundle; null unless options.telemetry.enabled().
+    std::unique_ptr<Telemetry> telemetry_;
+    /// Gate phase-time sink shared by every model's engine when
+    /// tracing is on; tick() differences the cumulative counters to
+    /// attribute each fleet step to probe/decide/commit.
+    memo::GatePhaseTimes phaseTimes_;
+    std::uint64_t lastProbeNs_ = 0;
+    std::uint64_t lastDecideNs_ = 0;
+    std::uint64_t lastCommitNs_ = 0;
 
     // Driver-tick scratch (tickTasks_ is read by pool workers).
     std::vector<TickTask> tickTasks_;

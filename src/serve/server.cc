@@ -70,6 +70,15 @@ Server::Server(nn::RnnNetwork &network, nn::BinarizedNetwork *bnn,
         exact_->beginBatch(options_.slots);
         evaluator_ = exact_.get();
     }
+    if (options_.telemetry.enabled()) {
+        telemetry_ = std::make_unique<Telemetry>(
+            options_.telemetry, std::vector<std::string>{"default"});
+        admission_.attachTelemetry(telemetry_.get());
+        // Phase attribution only pays its clock reads when someone can
+        // see them: the sink exists iff the tracer does.
+        if (telemetry_->tracer() != nullptr && engine_)
+            engine_->setPhaseSink(&phaseTimes_);
+    }
     if (options_.workers > 1)
         pool_ = std::make_unique<ThreadPool>(options_.workers);
     // Effective chunk size: chunkSize is an upper bound; with a pool,
@@ -162,6 +171,8 @@ Server::controllerTick()
 void
 Server::admitPending()
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
     while (scheduler_.hasFree()) {
         QueuedRequest item;
         const Admission::Pop outcome = admission_.pop(0, item);
@@ -174,6 +185,7 @@ Server::admitPending()
         // request's value verbatim (sentinel included) when no floor
         // binds.
         const double theta = admission_.mergedTheta(0, item.request);
+        const std::int64_t t_admit = tracer ? tracer->nowNs() : 0;
         const std::size_t slot = scheduler_.admit(std::move(item));
         stepper_.resetSlot(slot);
         if (engine_)
@@ -185,13 +197,38 @@ Server::admitPending()
         SlotState &admitted = scheduler_.slot(slot);
         if (admission_.sessionsEnabled() &&
             !admitted.request.sessionId.empty()) {
+            const std::int64_t t_restore =
+                tracer ? tracer->nowNs() : 0;
             if (auto snap =
                     admission_.takeSession(0, admitted.request.sessionId)) {
                 if (engine_ && !snap->memo.empty())
                     engine_->restoreSlot(slot, snap->memo);
                 stepper_.restoreSlot(slot, snap->cell);
                 admitted.warmStart = true;
+                if (tracer != nullptr) {
+                    TraceSpan span;
+                    span.phase = TracePhase::SessionRestore;
+                    span.startNs = t_restore;
+                    span.durNs = tracer->nowNs() - t_restore;
+                    span.slot = static_cast<std::uint32_t>(slot);
+                    span.requestId = admitted.id;
+                    span.warmResumed = true;
+                    tracer->record(span);
+                }
             }
+        }
+        if (tracer != nullptr) {
+            TraceSpan span;
+            span.phase = TracePhase::Admit;
+            span.startNs = t_admit;
+            span.durNs = tracer->nowNs() - t_admit;
+            span.slot = static_cast<std::uint32_t>(slot);
+            span.requestId = admitted.id;
+            span.theta = static_cast<float>(
+                engine_ ? engine_->slotTheta(slot)
+                        : servedTheta(admitted.request));
+            span.warmResumed = admitted.warmStart;
+            tracer->record(span);
         }
         // A zero-length sequence has nothing to step: complete in place
         // so it never wastes a panel row.
@@ -203,14 +240,25 @@ Server::admitPending()
 void
 Server::tick()
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
     const std::span<const std::size_t> rows = scheduler_.activeRows();
 
     // Stage each active slot's current input frame into its panel row.
+    const std::int64_t t_stage = tracer ? tracer->nowNs() : 0;
     tensor::Matrix &input = stepper_.inputPanel();
     for (const std::size_t slot : rows) {
         const SlotState &state = scheduler_.slot(slot);
         const auto &frame = state.request.input[state.step];
         std::copy(frame.begin(), frame.end(), input.row(slot).begin());
+    }
+    const std::int64_t t_step = tracer ? tracer->nowNs() : 0;
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Stage;
+        span.startNs = t_stage;
+        span.durNs = t_step - t_stage;
+        tracer->record(span);
     }
 
     // Step every active slot one timestep, split into slot-range chunks
@@ -243,6 +291,44 @@ Server::tick()
                               *evaluator_);
         });
     }
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Step;
+        span.startNs = t_step;
+        span.durNs = tracer->nowNs() - t_step;
+        tracer->record(span);
+        // Attribute the step to probe/decide/commit from the engine's
+        // cumulative phase counters, laid back to back inside the step
+        // window. With pool workers the phase times are summed CPU ns
+        // across workers, so they can exceed the step's wall duration —
+        // the spans show attribution, not a timeline.
+        if (engine_) {
+            std::int64_t cursor = t_step;
+            const auto sub = [&](TracePhase phase, std::uint64_t total,
+                                 std::uint64_t &last) {
+                const std::int64_t dur =
+                    static_cast<std::int64_t>(total - last);
+                last = total;
+                if (dur <= 0)
+                    return;
+                TraceSpan attribution;
+                attribution.phase = phase;
+                attribution.startNs = cursor;
+                attribution.durNs = dur;
+                tracer->record(attribution);
+                cursor += dur;
+            };
+            sub(TracePhase::Probe,
+                phaseTimes_.probeNs.load(std::memory_order_relaxed),
+                lastProbeNs_);
+            sub(TracePhase::Decide,
+                phaseTimes_.decideNs.load(std::memory_order_relaxed),
+                lastDecideNs_);
+            sub(TracePhase::Commit,
+                phaseTimes_.commitNs.load(std::memory_order_relaxed),
+                lastCommitNs_);
+        }
+    }
 
     // Collect outputs; completions release slots, which invalidates the
     // active-row span, so gather them first.
@@ -262,11 +348,16 @@ Server::tick()
 void
 Server::completeSlot(std::size_t slot)
 {
+    DriverTracer *const tracer =
+        telemetry_ ? telemetry_->tracer() : nullptr;
+    const std::int64_t t_complete = tracer ? tracer->nowNs() : 0;
     SlotState &state = scheduler_.slot(slot);
     const double theta =
         engine_ ? engine_->slotTheta(slot) : servedTheta(state.request);
     const double reuse =
         engine_ ? engine_->slotReuseFraction(slot) : 0.0;
+    const std::uint64_t request_id = state.id;
+    const bool warm = state.warmStart;
     // Snapshot the finished slot for the session's next turn before the
     // response gives anything away. Exact servers still warm-start the
     // recurrent state; the memo half stays empty.
@@ -278,7 +369,7 @@ Server::completeSlot(std::size_t slot)
         admission_.storeSession(0, state.request.sessionId,
                                 std::move(snap));
     }
-    admission_.complete(0, state, theta, reuse);
+    admission_.complete(0, slot, state, theta, reuse);
     // Restore the default theta while the slot sits free: a stale
     // non-default value would keep counting against the engine's
     // uniform-theta vector decision path even with no such tenant
@@ -286,6 +377,17 @@ Server::completeSlot(std::size_t slot)
     if (engine_)
         engine_->setSlotTheta(slot, engine_->theta());
     scheduler_.release(slot);
+    if (tracer != nullptr) {
+        TraceSpan span;
+        span.phase = TracePhase::Complete;
+        span.startNs = t_complete;
+        span.durNs = tracer->nowNs() - t_complete;
+        span.slot = static_cast<std::uint32_t>(slot);
+        span.requestId = request_id;
+        span.theta = static_cast<float>(theta);
+        span.warmResumed = warm;
+        tracer->record(span);
+    }
 }
 
 } // namespace nlfm::serve

@@ -127,6 +127,12 @@ struct ServerOptions
     /// only requests carrying a non-empty Request::sessionId touch the
     /// store, so plain traffic is bit-identical either way.
     std::size_t sessionCapacity = 64;
+
+    /// Serving telemetry (serve/telemetry.hh): metrics registry and/or
+    /// driver-tick tracer. Both off — the default — constructs no
+    /// telemetry state at all; serving is bit-identical to a
+    /// telemetry-free build.
+    TelemetryOptions telemetry{};
 };
 
 /// Continuous-batching inference server.
@@ -200,6 +206,21 @@ class Server
         return admission_.sessionEvictions();
     }
 
+    /// Telemetry bundle; null when ServerOptions::telemetry is all off.
+    /// Registry reads (exposition/jsonSnapshot) are any-thread; trace
+    /// export is post-stop (DriverTracer contract).
+    Telemetry *telemetry() { return telemetry_.get(); }
+    const Telemetry *telemetry() const { return telemetry_.get(); }
+
+    /// Oldest-first autopilot decision audit (empty when the autopilot
+    /// is off or ThetaAutopilotOptions::auditCapacity == 0). Any
+    /// thread.
+    std::vector<ThetaDecision> thetaAudit() const
+    {
+        return controller_ ? controller_->audit()
+                           : std::vector<ThetaDecision>{};
+    }
+
   private:
     void driverLoop();
     void controllerTick();
@@ -221,6 +242,16 @@ class Server
     /// Theta autopilot; null unless options.autopilot.enabled. Ticked
     /// by the driver loop, floor published through admission_.
     std::unique_ptr<ThetaController> controller_;
+
+    /// Telemetry bundle; null unless options.telemetry.enabled().
+    std::unique_ptr<Telemetry> telemetry_;
+    /// Gate phase-time sink, attached to the memoized engine only when
+    /// tracing is on; tick() differences the cumulative counters to
+    /// attribute each step to probe/decide/commit.
+    memo::GatePhaseTimes phaseTimes_;
+    std::uint64_t lastProbeNs_ = 0;
+    std::uint64_t lastDecideNs_ = 0;
+    std::uint64_t lastCommitNs_ = 0;
 
     /// Exactly one of engine_/exact_ serves, per options_.memoized.
     std::unique_ptr<memo::BatchMemoEngine> engine_;

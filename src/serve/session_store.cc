@@ -14,7 +14,7 @@ SessionStore::SessionStore(std::size_t models, std::size_t capacity)
                 "unconstructed to disable sessions)");
 }
 
-void
+bool
 SessionStore::put(std::size_t model, const std::string &id,
                   SessionState &&state)
 {
@@ -29,7 +29,7 @@ SessionStore::put(std::size_t model, const std::string &id,
         // turn) and the session is touched to most-recent.
         found->second->state = std::move(state);
         shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
-        return;
+        return false;
     }
     shard.lru.push_front(Entry{id, std::move(state)});
     shard.index.emplace(id, shard.lru.begin());
@@ -37,7 +37,9 @@ SessionStore::put(std::size_t model, const std::string &id,
         shard.index.erase(shard.lru.back().id);
         shard.lru.pop_back();
         ++evictions_;
+        return true;
     }
+    return false;
 }
 
 std::optional<SessionState>

@@ -66,7 +66,10 @@ class SessionStore
 
     /// Insert or overwrite @p id's state and mark it most recent;
     /// evicts the least-recently-used session of @p model when full.
-    void put(std::size_t model, const std::string &id,
+    /// Returns true when this put evicted a session (telemetry hooks
+    /// count evictions per event; evictions() stays the cumulative
+    /// total).
+    bool put(std::size_t model, const std::string &id,
              SessionState &&state);
 
     /// Remove and return @p id's state, or nullopt (cold start). The

@@ -182,19 +182,24 @@ FleetStatsSnapshot::report(const std::string &title,
                            const std::string &csv_tag) const
 {
     TablePrinter table(title);
-    table.setHeader({"model", "completed", "shed", "throughput/s",
+    table.setHeader({"model", "completed", "deadline met", "shed",
+                     "shed (predicted)", "warm resumed", "throughput/s",
                      "goodput/s", "p50 ms", "p95 ms", "p99 ms",
-                     "mean queue ms", "reuse"});
+                     "mean queue ms", "mean service ms", "reuse"});
     const auto row = [&](const std::string &name,
                          const StatsSnapshot &s) {
         table.addRow({name, std::to_string(s.completed),
+                      std::to_string(s.deadlineMet),
                       std::to_string(s.shed),
+                      std::to_string(s.shedPredicted),
+                      std::to_string(s.warmResumed),
                       formatDouble(s.throughput(), 2),
                       formatDouble(s.goodput(), 2),
                       formatDouble(s.p50LatencyMs, 1),
                       formatDouble(s.p95LatencyMs, 1),
                       formatDouble(s.p99LatencyMs, 1),
                       formatDouble(s.meanQueueMs, 1),
+                      formatDouble(s.meanServiceMs, 1),
                       formatPercent(s.meanReuse)});
     };
     for (std::size_t m = 0; m < perModel.size(); ++m)
@@ -204,6 +209,26 @@ FleetStatsSnapshot::report(const std::string &title,
     std::string out = table.str();
     if (!csv_tag.empty())
         out += table.csv(csv_tag);
+    if (!thetaAudit.empty()) {
+        TablePrinter audit(title + " (theta audit)");
+        audit.setHeader({"model", "tick", "reason", "floor before",
+                         "floor after", "occupancy", "queue", "shed",
+                         "late"});
+        for (const ThetaAuditEntry &entry : thetaAudit) {
+            const ThetaDecision &d = entry.decision;
+            audit.addRow({entry.model, std::to_string(d.tick),
+                          thetaDecisionReasonName(d.reason),
+                          formatDouble(d.floorBefore, 4),
+                          formatDouble(d.floorAfter, 4),
+                          formatDouble(d.signals.occupancy, 2),
+                          std::to_string(d.signals.queueDepth),
+                          std::to_string(d.signals.shed),
+                          std::to_string(d.signals.deadlineMissed)});
+        }
+        out += audit.str();
+        if (!csv_tag.empty())
+            out += audit.csv(csv_tag + "_theta_audit");
+    }
     return out;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "serve/request.hh"
+#include "serve/theta_controller.hh"
 
 namespace nlfm::serve
 {
@@ -141,12 +142,27 @@ class ServingStats
 /// parallel arrays in model-registration order.
 struct FleetStatsSnapshot
 {
+    /// One model's autopilot floor decision, labeled with the model
+    /// name for fleet-wide rendering.
+    struct ThetaAuditEntry
+    {
+        std::string model;
+        ThetaDecision decision;
+    };
+
     StatsSnapshot aggregate;
     std::vector<std::string> names;
     std::vector<StatsSnapshot> perModel;
 
-    /// One row per model plus the aggregate, via common/report;
-    /// @p csv_tag non-empty additionally emits the CSV block.
+    /// Autopilot audit trail across all models, each model's decisions
+    /// oldest first (empty when no autopilot ran or recorded).
+    std::vector<ThetaAuditEntry> thetaAudit;
+
+    /// One row per model plus the aggregate — every StatsSnapshot
+    /// count and mean the single-model report carries — followed by
+    /// the theta-audit table when the trail is non-empty, via
+    /// common/report; @p csv_tag non-empty additionally emits the CSV
+    /// blocks.
     std::string report(const std::string &title,
                        const std::string &csv_tag = "") const;
 };

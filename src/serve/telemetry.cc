@@ -1,0 +1,353 @@
+#include "serve/telemetry.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+namespace
+{
+
+/// Family name of a (possibly labeled) series: everything before the
+/// label block.
+std::string
+familyOf(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Series name with one more label (the histogram `le` bucket label),
+/// merged into an existing label block when the series has one.
+std::string
+withLabel(const std::string &name, const std::string &label)
+{
+    if (!name.empty() && name.back() == '}')
+        return name.substr(0, name.size() - 1) + "," + label + "}";
+    return name + "{" + label + "}";
+}
+
+std::string
+formatValue(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+void
+appendJsonKey(std::string &out, const std::string &name)
+{
+    out += '"';
+    for (const char c : name) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+MetricsRegistry::Metric &
+MetricsRegistry::findOrCreate(Kind kind, const std::string &name,
+                              const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &metric : metrics_) {
+        if (metric.name == name) {
+            nlfm_assert(metric.kind == kind,
+                        "metric \"", name,
+                        "\" re-registered with a different kind");
+            return metric;
+        }
+    }
+    Metric metric;
+    metric.kind = kind;
+    metric.name = name;
+    metric.help = help;
+    metrics_.push_back(std::move(metric));
+    return metrics_.back();
+}
+
+MetricsRegistry::Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    Metric &metric = findOrCreate(Kind::Counter, name, help);
+    if (!metric.counter)
+        metric.counter = std::make_unique<Counter>();
+    return *metric.counter;
+}
+
+MetricsRegistry::Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    Metric &metric = findOrCreate(Kind::Gauge, name, help);
+    if (!metric.gauge)
+        metric.gauge = std::make_unique<Gauge>();
+    return *metric.gauge;
+}
+
+MetricsRegistry::HistogramMetric &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help, std::size_t bins,
+                           double lo, double hi)
+{
+    Metric &metric = findOrCreate(Kind::Histogram, name, help);
+    if (!metric.histogram)
+        metric.histogram =
+            std::make_unique<HistogramMetric>(bins, lo, hi);
+    return *metric.histogram;
+}
+
+std::string
+MetricsRegistry::exposition() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::string last_family;
+    for (const auto &metric : metrics_) {
+        const std::string family = familyOf(metric.name);
+        if (family != last_family) {
+            out += "# HELP " + family + " " + metric.help + "\n";
+            out += "# TYPE " + family + " ";
+            switch (metric.kind) {
+            case Kind::Counter:
+                out += "counter\n";
+                break;
+            case Kind::Gauge:
+                out += "gauge\n";
+                break;
+            case Kind::Histogram:
+                out += "histogram\n";
+                break;
+            }
+            last_family = family;
+        }
+        switch (metric.kind) {
+        case Kind::Counter:
+            out += metric.name + " " +
+                   std::to_string(metric.counter->value()) + "\n";
+            break;
+        case Kind::Gauge:
+            out += metric.name + " " +
+                   formatValue(metric.gauge->value()) + "\n";
+            break;
+        case Kind::Histogram: {
+            const LogHistogram hist = metric.histogram->snapshot();
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < hist.bins(); ++i) {
+                cumulative += hist.count(i);
+                out += withLabel(metric.name + "_bucket",
+                                 "le=\"" + formatValue(hist.binHi(i)) +
+                                     "\"") +
+                       " " + std::to_string(cumulative) + "\n";
+            }
+            out += withLabel(metric.name + "_bucket", "le=\"+Inf\"") +
+                   " " + std::to_string(hist.total()) + "\n";
+            out += metric.name + "_sum " +
+                   formatValue(metric.histogram->sum()) + "\n";
+            out += metric.name + "_count " +
+                   std::to_string(hist.total()) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::jsonSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string counters;
+    std::string gauges;
+    std::string histograms;
+    for (const auto &metric : metrics_) {
+        switch (metric.kind) {
+        case Kind::Counter:
+            if (!counters.empty())
+                counters += ',';
+            appendJsonKey(counters, metric.name);
+            counters += ':' + std::to_string(metric.counter->value());
+            break;
+        case Kind::Gauge:
+            if (!gauges.empty())
+                gauges += ',';
+            appendJsonKey(gauges, metric.name);
+            gauges += ':' + formatValue(metric.gauge->value());
+            break;
+        case Kind::Histogram: {
+            if (!histograms.empty())
+                histograms += ',';
+            const LogHistogram hist = metric.histogram->snapshot();
+            appendJsonKey(histograms, metric.name);
+            histograms += ":{\"count\":" +
+                          std::to_string(hist.total()) +
+                          ",\"sum\":" +
+                          formatValue(metric.histogram->sum()) +
+                          ",\"underflow\":" +
+                          std::to_string(hist.underflow()) +
+                          ",\"overflow\":" +
+                          std::to_string(hist.overflow()) +
+                          ",\"p50\":" + formatValue(hist.quantile(0.5)) +
+                          ",\"p95\":" +
+                          formatValue(hist.quantile(0.95)) +
+                          ",\"p99\":" +
+                          formatValue(hist.quantile(0.99)) + "}";
+            break;
+        }
+        }
+    }
+    return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+           "},\"histograms\":{" + histograms + "}}";
+}
+
+Telemetry::Telemetry(const TelemetryOptions &options,
+                     std::vector<std::string> model_names)
+    : options_(options), names_(std::move(model_names))
+{
+    nlfm_assert(options_.enabled(),
+                "Telemetry constructed with both surfaces disabled "
+                "(callers hold a null Telemetry* instead)");
+    nlfm_assert(!names_.empty(), "telemetry needs at least one model");
+    if (options_.trace)
+        tracer_ = std::make_unique<DriverTracer>(options_.traceCapacity);
+
+    const auto labeled = [](const std::string &base,
+                            const std::string &model) {
+        return base + "{model=\"" + model + "\"}";
+    };
+    models_.reserve(names_.size());
+    for (const std::string &name : names_) {
+        ModelHandles h;
+        h.completed = &registry_.counter(
+            labeled("nlfm_serve_completed_total", name),
+            "Requests completed");
+        h.deadlineMet = &registry_.counter(
+            labeled("nlfm_serve_deadline_met_total", name),
+            "Completed requests that met their deadline");
+        h.warmResumed = &registry_.counter(
+            labeled("nlfm_serve_warm_resumed_total", name),
+            "Completed requests resumed from a warm session");
+        h.steps = &registry_.counter(
+            labeled("nlfm_serve_steps_total", name),
+            "Sequence steps served");
+        h.shedExpired = &registry_.counter(
+            "nlfm_serve_shed_total{model=\"" + name +
+                "\",reason=\"expired\"}",
+            "Requests shed by admission, by reason");
+        h.shedPredicted = &registry_.counter(
+            "nlfm_serve_shed_total{model=\"" + name +
+                "\",reason=\"predicted\"}",
+            "Requests shed by admission, by reason");
+        h.sessionHits = &registry_.counter(
+            labeled("nlfm_serve_session_hits_total", name),
+            "Session lookups that restored a warm snapshot");
+        h.sessionMisses = &registry_.counter(
+            labeled("nlfm_serve_session_misses_total", name),
+            "Session lookups that started cold");
+        h.admissions = &registry_.counter(
+            labeled("nlfm_serve_fleet_admissions_total", name),
+            "Requests admitted through the DRR scheduler");
+        h.chargedMsX1000 = &registry_.counter(
+            labeled("nlfm_serve_fleet_charged_us_total", name),
+            "Cost-aware DRR credit charged, in microseconds");
+        h.thetaFloor = &registry_.gauge(
+            labeled("nlfm_serve_theta_floor", name),
+            "Autopilot effective theta floor");
+        h.queueDepth = &registry_.gauge(
+            labeled("nlfm_serve_queue_depth", name),
+            "Requests queued, not yet admitted");
+        models_.push_back(h);
+    }
+    latencyMs_ = &registry_.histogram(
+        "nlfm_serve_latency_ms", "End-to-end request latency (ms)", 64,
+        1e-3, 6e4);
+    queueMs_ = &registry_.histogram(
+        "nlfm_serve_queue_ms", "Request queue wait (ms)", 64, 1e-3, 6e4);
+    serviceMs_ = &registry_.histogram(
+        "nlfm_serve_service_ms", "Request service time (ms)", 64, 1e-3,
+        6e4);
+    queueDepthDist_ = &registry_.histogram(
+        "nlfm_serve_queue_depth_dist",
+        "Queue depth observed at enqueue/pop", 32, 1.0, 65536.0);
+    sessionEvictions_ = &registry_.counter(
+        "nlfm_serve_session_evictions_total",
+        "Sessions evicted by LRU capacity pressure");
+}
+
+std::string
+Telemetry::traceJson() const
+{
+    if (!tracer_)
+        return "";
+    return tracer_->chromeTraceJson(names_);
+}
+
+void
+Telemetry::onComplete(std::size_t model, const Response &response)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    ModelHandles &h = models_[model];
+    h.completed->inc();
+    if (response.deadlineMet)
+        h.deadlineMet->inc();
+    if (response.warmResumed)
+        h.warmResumed->inc();
+    h.steps->inc(response.steps);
+    latencyMs_->observe(response.latencyMs);
+    queueMs_->observe(response.queueMs);
+    serviceMs_->observe(response.serviceMs);
+}
+
+void
+Telemetry::onShed(std::size_t model, ShedReason reason)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    ModelHandles &h = models_[model];
+    (reason == ShedReason::Expired ? h.shedExpired : h.shedPredicted)
+        ->inc();
+}
+
+void
+Telemetry::onQueueDepth(std::size_t model, std::size_t depth)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    models_[model].queueDepth->set(static_cast<double>(depth));
+    queueDepthDist_->observe(static_cast<double>(depth));
+}
+
+void
+Telemetry::onSessionLookup(std::size_t model, bool hit)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    (hit ? models_[model].sessionHits : models_[model].sessionMisses)
+        ->inc();
+}
+
+void
+Telemetry::onSessionEviction()
+{
+    sessionEvictions_->inc();
+}
+
+void
+Telemetry::onThetaFloor(std::size_t model, double floor)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    models_[model].thetaFloor->set(floor);
+}
+
+void
+Telemetry::onFleetCharge(std::size_t model, double cost_ms)
+{
+    nlfm_assert(model < models_.size(), "model id out of range");
+    models_[model].admissions->inc();
+    models_[model].chargedMsX1000->inc(
+        static_cast<std::uint64_t>(cost_ms * 1000.0));
+}
+
+} // namespace nlfm::serve

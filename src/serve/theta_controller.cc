@@ -5,6 +5,22 @@
 namespace nlfm::serve
 {
 
+const char *
+thetaDecisionReasonName(ThetaDecisionReason reason)
+{
+    switch (reason) {
+    case ThetaDecisionReason::Shed:
+        return "shed";
+    case ThetaDecisionReason::DeadlineMiss:
+        return "deadline-miss";
+    case ThetaDecisionReason::Occupancy:
+        return "occupancy";
+    case ThetaDecisionReason::Slack:
+        return "slack";
+    }
+    return "unknown";
+}
+
 ThetaController::ThetaController(const ThetaAutopilotOptions &options,
                                  double base_theta)
     : options_(options)
@@ -67,6 +83,7 @@ ThetaController::tick(const ThetaSignals &signals)
     lastSignals_ = signals;
     lastDecision_ = now;
     decided_ = true;
+    ++decisionCount_;
 
     const bool pressure =
         sheds > 0 || misses > 0 ||
@@ -84,12 +101,59 @@ ThetaController::tick(const ThetaSignals &signals)
     if (level == level_)
         return false;
 
+    const double floor_before = level_ == 0 ? 0.0 : ladder_[level_ - 1];
     level_ = level;
     const double floor = level_ == 0 ? 0.0 : ladder_[level_ - 1];
     floor_.store(floor, std::memory_order_relaxed);
     if (floor > maxFloor_.load(std::memory_order_relaxed))
         maxFloor_.store(floor, std::memory_order_relaxed);
+
+    if (options_.auditCapacity > 0) {
+        ThetaDecision decision;
+        decision.tick = decisionCount_;
+        decision.signals = signals;
+        decision.floorBefore = floor_before;
+        decision.floorAfter = floor;
+        // Dominant pressure in the raise condition's own order; a
+        // lowering move can only be slack.
+        decision.reason = floor > floor_before
+                              ? (sheds > 0 ? ThetaDecisionReason::Shed
+                                 : misses > 0
+                                     ? ThetaDecisionReason::DeadlineMiss
+                                     : ThetaDecisionReason::Occupancy)
+                              : ThetaDecisionReason::Slack;
+        std::lock_guard<std::mutex> lock(auditMutex_);
+        if (auditRing_.size() < options_.auditCapacity) {
+            auditRing_.push_back(decision);
+        } else {
+            auditRing_[auditHead_] = decision;
+        }
+        auditHead_ = (auditHead_ + 1) % options_.auditCapacity;
+        ++auditRecorded_;
+    }
     return true;
+}
+
+std::vector<ThetaDecision>
+ThetaController::audit() const
+{
+    std::lock_guard<std::mutex> lock(auditMutex_);
+    std::vector<ThetaDecision> out;
+    out.reserve(auditRing_.size());
+    // Oldest retained entry: auditHead_ once the ring wrapped (the
+    // ring is full exactly then), 0 before.
+    const std::size_t first =
+        auditRing_.size() < options_.auditCapacity ? 0 : auditHead_;
+    for (std::size_t i = 0; i < auditRing_.size(); ++i)
+        out.push_back(auditRing_[(first + i) % auditRing_.size()]);
+    return out;
+}
+
+std::uint64_t
+ThetaController::auditRecorded() const
+{
+    std::lock_guard<std::mutex> lock(auditMutex_);
+    return auditRecorded_;
 }
 
 } // namespace nlfm::serve

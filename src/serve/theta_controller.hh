@@ -39,6 +39,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "memo/threshold_tuner.hh"
@@ -81,6 +82,13 @@ struct ThetaAutopilotOptions
     /// empty, and occupancy <= lowerOccupancy. The gap up to
     /// raiseOccupancy is the hysteresis dead band.
     double lowerOccupancy = 0.60;
+
+    /// Bounded audit-trail capacity: the controller retains the most
+    /// recent auditCapacity floor decisions (ThetaDecision) so a
+    /// burst's autopilot behavior is replayable after the fact
+    /// (FleetStatsSnapshot::report renders them). 0 disables the
+    /// trail.
+    std::size_t auditCapacity = 64;
 };
 
 /// Pressure snapshot the driver hands to tick(). Counters are
@@ -92,6 +100,34 @@ struct ThetaSignals
     std::size_t queueDepth = 0;   ///< requests queued, this model
     std::uint64_t shed = 0;       ///< cumulative sheds (all reasons)
     std::uint64_t deadlineMissed = 0; ///< cumulative completed-but-late
+};
+
+/// What tipped a floor decision — the dominant pressure (sheds beat
+/// misses beat occupancy, matching the raise condition's order) or the
+/// slack that lowered it.
+enum class ThetaDecisionReason : std::uint8_t
+{
+    Shed,         ///< raised: sheds since the last decision
+    DeadlineMiss, ///< raised: completed-but-late since the last decision
+    Occupancy,    ///< raised: occupancy + queue depth over thresholds
+    Slack,        ///< lowered: confirmed slack interval
+};
+
+/// Stable lower-case name of @p reason (reports, trace args).
+const char *thetaDecisionReasonName(ThetaDecisionReason reason);
+
+/// One audited floor move: everything needed to replay why the
+/// autopilot acted — the decision ordinal, the signals it saw, the
+/// floor before/after, and the dominant reason.
+struct ThetaDecision
+{
+    /// Ordinal among ACCEPTED decisions (ticks past the rate limiter),
+    /// starting at 1 — a logical clock that survives wall-time noise.
+    std::uint64_t tick = 0;
+    ThetaSignals signals;
+    double floorBefore = 0.0;
+    double floorAfter = 0.0;
+    ThetaDecisionReason reason = ThetaDecisionReason::Slack;
 };
 
 /// One model's theta autopilot. See the file comment for the control
@@ -133,6 +169,15 @@ class ThetaController
     /// Driver thread only.
     bool tick(const ThetaSignals &signals);
 
+    /// The retained audit trail, oldest first (at most
+    /// ThetaAutopilotOptions::auditCapacity entries — older decisions
+    /// roll off). Any thread (mutex-guarded copy).
+    std::vector<ThetaDecision> audit() const;
+
+    /// Floor decisions recorded since construction, including ones
+    /// that rolled off the bounded trail. Any thread.
+    std::uint64_t auditRecorded() const;
+
   private:
     ThetaAutopilotOptions options_;
     /// Ascending thetas above the base; level 0 = floor off,
@@ -142,8 +187,17 @@ class ThetaController
     Clock::time_point lastDecision_{};
     bool decided_ = false; ///< lastDecision_ valid
     ThetaSignals lastSignals_{};
+    std::uint64_t decisionCount_ = 0; ///< accepted ticks (audit clock)
     std::atomic<double> floor_{0.0};
     std::atomic<double> maxFloor_{0.0};
+
+    /// Bounded decision ring (file comment: replayable bursts). The
+    /// driver writes, reports read — a mutex, not the hot path's
+    /// atomics, because entries are multi-word.
+    mutable std::mutex auditMutex_;
+    std::vector<ThetaDecision> auditRing_;
+    std::size_t auditHead_ = 0;
+    std::uint64_t auditRecorded_ = 0;
 };
 
 } // namespace nlfm::serve

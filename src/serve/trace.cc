@@ -1,0 +1,179 @@
+#include "serve/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nlfm::serve
+{
+
+const char *
+tracePhaseName(TracePhase phase)
+{
+    switch (phase) {
+    case TracePhase::Admit:
+        return "admit";
+    case TracePhase::SessionRestore:
+        return "session-restore";
+    case TracePhase::Stage:
+        return "stage";
+    case TracePhase::Probe:
+        return "probe";
+    case TracePhase::Decide:
+        return "decide";
+    case TracePhase::Commit:
+        return "commit";
+    case TracePhase::Step:
+        return "step";
+    case TracePhase::Complete:
+        return "complete";
+    case TracePhase::Queue:
+        return "queue";
+    case TracePhase::Service:
+        return "service";
+    }
+    return "unknown";
+}
+
+DriverTracer::DriverTracer(std::size_t capacity)
+    : epoch_(Clock::now()), ring_(capacity)
+{
+    nlfm_assert(capacity > 0, "tracer with zero capacity");
+}
+
+std::int64_t
+DriverTracer::toNs(Clock::time_point t) const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t -
+                                                                epoch_)
+        .count();
+}
+
+void
+DriverTracer::record(const TraceSpan &span)
+{
+    ring_[head_] = span;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++recorded_;
+}
+
+std::vector<TraceSpan>
+DriverTracer::spans() const
+{
+    std::vector<TraceSpan> out;
+    const std::size_t retained =
+        recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                 : ring_.size();
+    out.reserve(retained);
+    // Oldest retained span: head_ when the ring has wrapped, 0 before.
+    const std::size_t first = recorded_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < retained; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+namespace
+{
+
+/// Chrome trace-event track ids: the driver's phase spans share one
+/// track; each slot's request lifecycle gets its own, after it.
+constexpr std::uint64_t kDriverTid = 0;
+
+std::uint64_t
+spanTid(const TraceSpan &span)
+{
+    switch (span.phase) {
+    case TracePhase::Queue:
+    case TracePhase::Service:
+        return 1 + span.slot;
+    default:
+        return kDriverTid;
+    }
+}
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+}
+
+} // namespace
+
+std::string
+DriverTracer::chromeTraceJson(
+    std::span<const std::string> model_names) const
+{
+    const std::vector<TraceSpan> all = spans();
+    std::string out;
+    out.reserve(160 * all.size() + 512);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+    // Track-name metadata: the driver track plus one track per slot
+    // that carried a lifecycle span.
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+           "\"args\":{\"name\":\"driver\"}}";
+    std::vector<std::uint64_t> slot_tids;
+    for (const TraceSpan &span : all) {
+        const std::uint64_t tid = spanTid(span);
+        if (tid == kDriverTid)
+            continue;
+        bool seen = false;
+        for (const std::uint64_t t : slot_tids)
+            seen = seen || t == tid;
+        if (seen)
+            continue;
+        slot_tids.push_back(tid);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%llu,"
+                      "\"name\":\"thread_name\","
+                      "\"args\":{\"name\":\"slot %llu\"}}",
+                      static_cast<unsigned long long>(tid),
+                      static_cast<unsigned long long>(tid - 1));
+        out += buf;
+    }
+
+    for (const TraceSpan &span : all) {
+        char buf[192];
+        // ts/dur are microseconds (doubles) per the trace-event spec.
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%llu,"
+            "\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+            tracePhaseName(span.phase),
+            static_cast<unsigned long long>(spanTid(span)),
+            static_cast<double>(span.startNs) / 1e3,
+            static_cast<double>(span.durNs) / 1e3);
+        out += buf;
+        out += "\"slot\":" + std::to_string(span.slot);
+        if (span.model < model_names.size()) {
+            out += ",\"model\":\"";
+            appendEscaped(out, model_names[span.model]);
+            out += '"';
+        } else {
+            out += ",\"model\":" + std::to_string(span.model);
+        }
+        if (span.requestId != 0 || span.phase == TracePhase::Queue ||
+            span.phase == TracePhase::Service ||
+            span.phase == TracePhase::Admit ||
+            span.phase == TracePhase::Complete) {
+            out += ",\"request\":" + std::to_string(span.requestId);
+            std::snprintf(buf, sizeof(buf), ",\"theta\":%.4f",
+                          static_cast<double>(span.theta));
+            out += buf;
+            out += ",\"warmResumed\":";
+            out += span.warmResumed ? "true" : "false";
+        }
+        out += "}}";
+    }
+
+    out += "\n],\"otherData\":{\"dropped\":" +
+           std::to_string(dropped()) + "}}\n";
+    return out;
+}
+
+} // namespace nlfm::serve

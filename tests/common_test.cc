@@ -249,6 +249,107 @@ TEST(HistogramTest, MergeAddsCounts)
     EXPECT_EQ(a.count(4), 1u);
 }
 
+TEST(HistogramTest, ClampedSamplesAreCountedNotSilent)
+{
+    // Edge-bin counts alone cannot distinguish genuine edge samples
+    // from clamped out-of-range ones; underflow()/overflow() can.
+    Histogram hist(4, 0.0, 1.0);
+    hist.add(0.1);       // genuine bin-0 sample
+    hist.add(-5.0);      // clamped into bin 0
+    hist.add(0.99);      // genuine last-bin sample
+    hist.add(27.0);      // clamped into bin 3
+    hist.add(1.0);       // hi() itself is out of the half-open range
+    hist.add(-1.0, 10);  // weighted clamps count their full weight
+
+    EXPECT_EQ(hist.total(), 15u);
+    EXPECT_EQ(hist.count(0), 12u);
+    EXPECT_EQ(hist.count(3), 3u);
+    EXPECT_EQ(hist.underflow(), 11u);
+    EXPECT_EQ(hist.overflow(), 2u);
+}
+
+TEST(HistogramTest, MergePropagatesClampCounters)
+{
+    Histogram a(4, 0.0, 1.0), b(4, 0.0, 1.0);
+    a.add(-1.0);
+    b.add(-2.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.underflow(), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+// ------------------------------------------------------- LogHistogram
+
+TEST(LogHistogramTest, GeometricBinEdges)
+{
+    // [1, 1000) over 3 bins: ratio 10, edges 1 / 10 / 100 / 1000.
+    LogHistogram hist(3, 1.0, 1000.0);
+    EXPECT_NEAR(hist.binLo(0), 1.0, 1e-9);
+    EXPECT_NEAR(hist.binHi(0), 10.0, 1e-9);
+    EXPECT_NEAR(hist.binHi(1), 100.0, 1e-6);
+    EXPECT_NEAR(hist.binHi(2), 1000.0, 1e-6);
+
+    hist.add(2.0);
+    hist.add(20.0);
+    hist.add(200.0);
+    EXPECT_EQ(hist.count(0), 1u);
+    EXPECT_EQ(hist.count(1), 1u);
+    EXPECT_EQ(hist.count(2), 1u);
+    EXPECT_EQ(hist.underflow(), 0u);
+    EXPECT_EQ(hist.overflow(), 0u);
+}
+
+TEST(LogHistogramTest, ClampsAndCountsOutOfRange)
+{
+    LogHistogram hist(4, 1.0, 16.0);
+    hist.add(0.5);  // below lo
+    hist.add(0.0);  // non-positive: log spacing has no zero
+    hist.add(-3.0); // negative likewise
+    hist.add(16.0); // hi() itself is out of the half-open range
+    hist.add(100.0, 2);
+
+    EXPECT_EQ(hist.total(), 6u);
+    EXPECT_EQ(hist.count(0), 3u);
+    EXPECT_EQ(hist.count(3), 3u);
+    EXPECT_EQ(hist.underflow(), 3u);
+    EXPECT_EQ(hist.overflow(), 3u);
+}
+
+TEST(LogHistogramTest, QuantileIsMonotoneAtBinResolution)
+{
+    LogHistogram hist(64, 0.1, 1000.0);
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i)
+        hist.add(1.0 + 99.0 * rng.uniform()); // uniform on [1, 100]
+    double last = 0.0;
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        const double x = hist.quantile(q);
+        EXPECT_GE(x, last);
+        // Bin-edge resolution: the estimate must bracket the population
+        // quantile within one geometric bin (ratio ~1.15 here).
+        const double expected = 1.0 + 99.0 * q;
+        EXPECT_GT(x, expected / 1.2);
+        EXPECT_LT(x, expected * 1.2);
+        last = x;
+    }
+}
+
+TEST(LogHistogramTest, MergeAddsCountsAndClamps)
+{
+    LogHistogram a(4, 1.0, 16.0), b(4, 1.0, 16.0);
+    a.add(2.0);
+    b.add(2.0);
+    b.add(0.5);
+    b.add(99.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.count(1), 2u); // 2.0 lands in [2, 4)
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
 // -------------------------------------------------------- fixed point
 
 TEST(FixedPointTest, RoundTripValues)

@@ -1,0 +1,635 @@
+/// @file
+/// Serving telemetry contract tests (serve/telemetry.hh, serve/trace.hh).
+///
+///  - MetricsRegistry find-or-register returns stable handles; the
+///    Prometheus-style exposition and JSON snapshot carry the same
+///    values the handles report.
+///  - DriverTracer is a fixed ring: wrap-around drops the OLDEST spans,
+///    counts them, and spans() comes back oldest-first; the Chrome
+///    trace-event export is structurally valid (thread-name metadata,
+///    ph:"X" duration events, per-slot lifecycle tracks, the dropped
+///    count in otherData).
+///  - End-to-end reconciliation (the PR's acceptance pin): a server run
+///    with telemetry enabled reports the SAME completed/deadline-met/
+///    steps counts through the exposition counters as through
+///    StatsCounters, and the trace's queue/service span sums agree with
+///    StatsSnapshot's mean queue/service latencies to within 1% — both
+///    fall out of recording at the single Admission choke point from
+///    the same timestamps.
+///  - Telemetry off (the default) constructs no telemetry state and
+///    outputs stay bitwise identical to a telemetry-enabled server and
+///    to the serial reference.
+///  - ServingStats::counters() agrees with snapshot() across a
+///    mid-flight reset() — the window-wrap path the PR 8 theta
+///    controller differences counters across.
+///  - Latency percentiles are deterministic past the reservoir cap
+///    (Vitter's Algorithm R with the internal fixed-seed RNG).
+///  - ThetaController's audit ring is bounded, oldest-first, and
+///    attributes each floor move to the dominant pressure.
+///  - FleetStatsSnapshot::report renders every snapshot field in both
+///    the table and the CSV block, plus the theta-audit table when the
+///    trail is non-empty.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "memo/threshold_tuner.hh"
+#include "nn/init.hh"
+#include "serve/server.hh"
+#include "serve/telemetry.hh"
+#include "serve/trace.hh"
+
+namespace nlfm
+{
+namespace
+{
+
+nn::RnnConfig
+servingConfig(nn::CellType cell)
+{
+    nn::RnnConfig config;
+    config.cellType = cell;
+    config.inputSize = 6;
+    config.hiddenSize = 8;
+    config.layers = 2;
+    config.bidirectional = false; // serving is step-major: causal only
+    config.peepholes = true;
+    return config;
+}
+
+std::vector<nn::Sequence>
+makeSequences(std::size_t count, std::size_t width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<nn::Sequence> sequences(count);
+    for (std::size_t b = 0; b < count; ++b) {
+        sequences[b].assign(3 + (b * 7) % 11, std::vector<float>(width));
+        for (auto &frame : sequences[b])
+            rng.fillNormal(frame, 0.0, 1.0);
+    }
+    return sequences;
+}
+
+void
+expectSequenceIdentical(const nn::Sequence &expected,
+                        const nn::Sequence &actual,
+                        const std::string &label)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+        ASSERT_EQ(expected[t].size(), actual[t].size())
+            << label << " step " << t;
+        for (std::size_t i = 0; i < expected[t].size(); ++i)
+            ASSERT_EQ(expected[t][i], actual[t][i])
+                << label << " step " << t << " element " << i;
+    }
+}
+
+/** Serial per-sequence reference at one theta. */
+nn::Sequence
+serialReference(nn::RnnNetwork &network, nn::BinarizedNetwork &bnn,
+                const nn::Sequence &input, double theta)
+{
+    memo::MemoOptions options;
+    options.predictor = memo::PredictorKind::Bnn;
+    options.theta = theta;
+    memo::MemoEngine engine(network, &bnn, options);
+    return network.forward(input, engine);
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+TEST(MetricsRegistry, FindOrRegisterReturnsStableHandles)
+{
+    serve::MetricsRegistry registry;
+    auto &a = registry.counter("test_total", "help");
+    a.inc(3);
+    // Re-registering the same name returns the SAME metric — the value
+    // accumulated through the first handle is visible through the
+    // second.
+    auto &b = registry.counter("test_total", "different help ignored");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+
+    auto &g = registry.gauge("test_gauge", "help");
+    g.set(2.5);
+    EXPECT_EQ(&g, &registry.gauge("test_gauge", "help"));
+    EXPECT_DOUBLE_EQ(registry.gauge("test_gauge", "help").value(), 2.5);
+
+    auto &h = registry.histogram("test_ms", "help", 8, 1e-3, 1e3);
+    h.observe(1.0);
+    EXPECT_EQ(&h, &registry.histogram("test_ms", "help", 8, 1e-3, 1e3));
+    EXPECT_EQ(h.snapshot().total(), 1u);
+}
+
+TEST(MetricsRegistry, ExpositionCarriesHandleValues)
+{
+    serve::MetricsRegistry registry;
+    registry.counter("reqs_total{model=\"a\"}", "Requests").inc(7);
+    registry.gauge("depth", "Queue depth").set(3.0);
+    auto &h = registry.histogram("lat_ms", "Latency", 4, 1.0, 16.0);
+    h.observe(2.0);
+    h.observe(8.0);
+
+    const std::string text = registry.exposition();
+    // Families get one HELP/TYPE header; series lines carry the values
+    // the handles report.
+    EXPECT_NE(text.find("# HELP reqs_total Requests"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("reqs_total{model=\"a\"} 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+    // Cumulative buckets end at +Inf and carry _sum/_count.
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_sum 10"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotCarriesHandleValues)
+{
+    serve::MetricsRegistry registry;
+    registry.counter("c_total", "help").inc(5);
+    registry.gauge("g", "help").set(1.5);
+    registry.histogram("h_ms", "help", 4, 1.0, 16.0).observe(2.0);
+
+    const std::string json = registry.jsonSnapshot();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"c_total\":5"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"h_ms\""), std::string::npos);
+}
+
+// --------------------------------------------------------- DriverTracer
+
+serve::TraceSpan
+span(std::int64_t start, serve::TracePhase phase,
+     std::uint64_t request = 0)
+{
+    serve::TraceSpan s;
+    s.startNs = start;
+    s.durNs = 10;
+    s.phase = phase;
+    s.requestId = request;
+    return s;
+}
+
+TEST(DriverTracer, RingWrapDropsOldestAndCounts)
+{
+    serve::DriverTracer tracer(4);
+    EXPECT_EQ(tracer.capacity(), 4u);
+    for (std::int64_t i = 0; i < 6; ++i)
+        tracer.record(span(i, serve::TracePhase::Step));
+
+    EXPECT_EQ(tracer.recorded(), 6u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+
+    // The retained window is the most recent capacity spans, returned
+    // oldest first.
+    const auto spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].startNs, static_cast<std::int64_t>(2 + i));
+}
+
+TEST(DriverTracer, ChromeTraceJsonStructure)
+{
+    serve::DriverTracer tracer(8);
+    tracer.record(span(100, serve::TracePhase::Step));
+    serve::TraceSpan service = span(200, serve::TracePhase::Service, 42);
+    service.slot = 3;
+    service.theta = 0.05f;
+    tracer.record(service);
+
+    const std::string json = tracer.chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+    // Track-name metadata for the driver track.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    // Duration events with microsecond stamps.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+    // The lifecycle span lands on the slot's own track (tid 1 + slot)
+    // and carries its request id.
+    EXPECT_NE(json.find("\"name\":\"service\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"request\":42"), std::string::npos);
+    // Drop accounting is always present, even at zero.
+    EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(DriverTracer, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(serve::tracePhaseName(serve::TracePhase::Admit),
+                 "admit");
+    EXPECT_STREQ(
+        serve::tracePhaseName(serve::TracePhase::SessionRestore),
+        "session-restore");
+    EXPECT_STREQ(serve::tracePhaseName(serve::TracePhase::Probe),
+                 "probe");
+    EXPECT_STREQ(serve::tracePhaseName(serve::TracePhase::Queue),
+                 "queue");
+    EXPECT_STREQ(serve::tracePhaseName(serve::TracePhase::Service),
+                 "service");
+}
+
+// --------------------------------------------- ServingStats satellites
+
+serve::Response
+response(double latency_ms, bool deadline_met = true)
+{
+    serve::Response r;
+    r.steps = 4;
+    r.latencyMs = latency_ms;
+    r.queueMs = latency_ms * 0.25;
+    r.serviceMs = latency_ms * 0.75;
+    r.deadlineMet = deadline_met;
+    r.reuseFraction = 0.5;
+    return r;
+}
+
+TEST(ServingStats, CountersAgreeWithSnapshotAcrossMidFlightReset)
+{
+    serve::ServingStats stats;
+    stats.start();
+    for (int i = 0; i < 5; ++i)
+        stats.record(response(10.0, i % 2 == 0));
+    stats.recordShed(serve::ShedReason::Expired);
+    stats.recordShed(serve::ShedReason::PredictedMiss);
+
+    serve::StatsCounters counters = stats.counters();
+    serve::StatsSnapshot snapshot = stats.snapshot();
+    EXPECT_EQ(counters.completed, snapshot.completed);
+    EXPECT_EQ(counters.deadlineMet, snapshot.deadlineMet);
+    EXPECT_EQ(counters.shed, snapshot.shed);
+    EXPECT_EQ(counters.shedPredicted, snapshot.shedPredicted);
+    EXPECT_EQ(counters.completed, 5u);
+    EXPECT_EQ(counters.deadlineMet, 3u);
+    EXPECT_EQ(counters.deadlineMissed(), 2u);
+    EXPECT_EQ(counters.shed, 2u);
+    EXPECT_EQ(counters.shedPredicted, 1u);
+
+    // Mid-flight window wrap: the counters a controller differences
+    // must restart together with the snapshot — no stale field may
+    // survive the reset (the PR 8 wrap-guard path).
+    stats.reset();
+    counters = stats.counters();
+    EXPECT_EQ(counters.completed, 0u);
+    EXPECT_EQ(counters.deadlineMet, 0u);
+    EXPECT_EQ(counters.shed, 0u);
+    EXPECT_EQ(counters.shedPredicted, 0u);
+
+    stats.record(response(20.0, true));
+    counters = stats.counters();
+    snapshot = stats.snapshot();
+    EXPECT_EQ(counters.completed, 1u);
+    EXPECT_EQ(snapshot.completed, 1u);
+    EXPECT_EQ(counters.deadlineMet, snapshot.deadlineMet);
+    EXPECT_EQ(snapshot.shed, 0u);
+    EXPECT_DOUBLE_EQ(snapshot.meanLatencyMs, 20.0);
+}
+
+TEST(ServingStats, ReservoirPercentilesDeterministicPastCap)
+{
+    // Feed two accumulators the identical over-capacity stream: the
+    // reservoir's replacement choices come from a fixed-seed internal
+    // RNG, so the sampled percentiles must match exactly.
+    const std::size_t n = serve::ServingStats::kReservoirCap + 4096;
+    serve::ServingStats a, b;
+    a.start();
+    b.start();
+    Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double latency = 1.0 + 99.0 * rng.uniform();
+        a.record(response(latency));
+        b.record(response(latency));
+    }
+    const serve::StatsSnapshot sa = a.snapshot();
+    const serve::StatsSnapshot sb = b.snapshot();
+    EXPECT_EQ(sa.completed, n);
+    EXPECT_EQ(sa.p50LatencyMs, sb.p50LatencyMs);
+    EXPECT_EQ(sa.p95LatencyMs, sb.p95LatencyMs);
+    EXPECT_EQ(sa.p99LatencyMs, sb.p99LatencyMs);
+    EXPECT_EQ(sa.meanLatencyMs, sb.meanLatencyMs);
+    // The sample is uniform on [1, 100]: percentiles land near the
+    // population quantiles even though only kReservoirCap samples were
+    // kept.
+    EXPECT_NEAR(sa.p50LatencyMs, 50.5, 3.0);
+    EXPECT_NEAR(sa.p95LatencyMs, 95.05, 3.0);
+}
+
+// ------------------------------------------------- ThetaController audit
+
+serve::ThetaAutopilotOptions
+auditOptions(std::size_t audit_capacity)
+{
+    memo::TunePoint points[3];
+    for (int i = 0; i < 3; ++i) {
+        points[i].theta = 0.1 * (i + 1);
+        points[i].reuse = 0.1 * (i + 1);
+        points[i].accuracyLoss = static_cast<double>(i);
+    }
+    serve::ThetaAutopilotOptions options;
+    options.enabled = true;
+    options.curve = memo::TuneCurve::fromPoints(points);
+    options.maxAccuracyLoss = 5.0;
+    options.controlIntervalMs = 0.0; // every tick decides (tests)
+    options.auditCapacity = audit_capacity;
+    return options;
+}
+
+serve::ThetaSignals
+pressure(std::uint64_t shed, std::uint64_t missed = 0)
+{
+    serve::ThetaSignals signals;
+    signals.occupancy = 1.0;
+    signals.queueDepth = 4;
+    signals.shed = shed;
+    signals.deadlineMissed = missed;
+    return signals;
+}
+
+TEST(ThetaAudit, RecordsFloorMovesWithDominantReason)
+{
+    serve::ThetaController controller(auditOptions(8), 0.05);
+    // Raise via a new shed, raise via a new miss, raise via occupancy,
+    // then lower on slack. Each accepted decision that MOVES the floor
+    // lands in the trail; held decisions (dead band) do not.
+    ASSERT_TRUE(controller.tick(pressure(1)));
+    ASSERT_TRUE(controller.tick(pressure(1, 1)));
+    ASSERT_TRUE(controller.tick(pressure(1, 1))); // occupancy + queue
+    serve::ThetaSignals slack;
+    slack.occupancy = 0.1;
+    slack.shed = 1;
+    slack.deadlineMissed = 1;
+    ASSERT_TRUE(controller.tick(slack));
+
+    const auto audit = controller.audit();
+    ASSERT_EQ(audit.size(), 4u);
+    EXPECT_EQ(controller.auditRecorded(), 4u);
+
+    EXPECT_EQ(audit[0].reason, serve::ThetaDecisionReason::Shed);
+    EXPECT_DOUBLE_EQ(audit[0].floorBefore, 0.0);
+    EXPECT_DOUBLE_EQ(audit[0].floorAfter, 0.1);
+    EXPECT_EQ(audit[1].reason, serve::ThetaDecisionReason::DeadlineMiss);
+    EXPECT_EQ(audit[2].reason, serve::ThetaDecisionReason::Occupancy);
+    EXPECT_EQ(audit[3].reason, serve::ThetaDecisionReason::Slack);
+    EXPECT_DOUBLE_EQ(audit[3].floorAfter, 0.2);
+
+    // The tick ordinal is a strictly increasing logical clock.
+    for (std::size_t i = 1; i < audit.size(); ++i)
+        EXPECT_GT(audit[i].tick, audit[i - 1].tick);
+
+    EXPECT_STREQ(
+        serve::thetaDecisionReasonName(serve::ThetaDecisionReason::Shed),
+        "shed");
+    EXPECT_STREQ(serve::thetaDecisionReasonName(
+                     serve::ThetaDecisionReason::Slack),
+                 "slack");
+}
+
+TEST(ThetaAudit, RingIsBoundedOldestRollOff)
+{
+    serve::ThetaController controller(auditOptions(2), 0.05);
+    // Three raises then one lower: 4 recorded moves through a 2-deep
+    // ring keep only the most recent two, oldest first.
+    ASSERT_TRUE(controller.tick(pressure(1)));
+    ASSERT_TRUE(controller.tick(pressure(2)));
+    ASSERT_TRUE(controller.tick(pressure(3)));
+    serve::ThetaSignals slack;
+    slack.occupancy = 0.1;
+    slack.shed = 3;
+    ASSERT_TRUE(controller.tick(slack));
+
+    EXPECT_EQ(controller.auditRecorded(), 4u);
+    const auto audit = controller.audit();
+    ASSERT_EQ(audit.size(), 2u);
+    EXPECT_LT(audit[0].tick, audit[1].tick);
+    EXPECT_DOUBLE_EQ(audit[0].floorAfter, 0.3);
+    EXPECT_EQ(audit[1].reason, serve::ThetaDecisionReason::Slack);
+}
+
+TEST(ThetaAudit, ZeroCapacityDisablesTheTrail)
+{
+    serve::ThetaController controller(auditOptions(0), 0.05);
+    ASSERT_TRUE(controller.tick(pressure(1)));
+    EXPECT_TRUE(controller.audit().empty());
+    EXPECT_EQ(controller.auditRecorded(), 0u);
+}
+
+// ------------------------------------------------- fleet report fields
+
+TEST(FleetReport, EverySnapshotFieldRendersInTableAndCsv)
+{
+    serve::FleetStatsSnapshot fleet;
+    fleet.names = {"alpha"};
+    serve::StatsSnapshot snap;
+    snap.completed = 10;
+    snap.deadlineMet = 8;
+    snap.shed = 3;
+    snap.shedPredicted = 2;
+    snap.warmResumed = 4;
+    snap.totalSteps = 77;
+    snap.wallSeconds = 2.0;
+    snap.p50LatencyMs = 11.0;
+    snap.p95LatencyMs = 22.0;
+    snap.p99LatencyMs = 33.0;
+    snap.meanLatencyMs = 12.5;
+    snap.meanQueueMs = 1.25;
+    snap.meanServiceMs = 11.25;
+    snap.meanReuse = 0.4;
+    fleet.perModel = {snap};
+    fleet.aggregate = snap;
+
+    serve::FleetStatsSnapshot::ThetaAuditEntry entry;
+    entry.model = "alpha";
+    entry.decision.tick = 3;
+    entry.decision.floorBefore = 0.0;
+    entry.decision.floorAfter = 0.1;
+    entry.decision.reason = serve::ThetaDecisionReason::Shed;
+    entry.decision.signals.occupancy = 1.0;
+    entry.decision.signals.queueDepth = 4;
+    fleet.thetaAudit = {entry};
+
+    const std::string report = fleet.report("fleet", "fleet_test");
+    // Every StatsSnapshot count and mean the single-model report
+    // carries must appear as a column.
+    for (const char *column :
+         {"completed", "deadline met", "shed", "shed (predicted)",
+          "warm resumed", "throughput/s", "goodput/s", "p50 ms",
+          "p95 ms", "p99 ms", "mean queue ms", "mean service ms",
+          "reuse"})
+        EXPECT_NE(report.find(column), std::string::npos)
+            << "missing column '" << column << "' in:\n"
+            << report;
+    // The values behind the easy-to-drop columns.
+    EXPECT_NE(report.find("alpha"), std::string::npos);
+    EXPECT_NE(report.find("1.2"), std::string::npos) << report;
+    EXPECT_NE(report.find("11.2"), std::string::npos) << report;
+    // CSV blocks for both tables.
+    EXPECT_NE(report.find("fleet_test"), std::string::npos);
+    EXPECT_NE(report.find("fleet_test_theta_audit"), std::string::npos)
+        << report;
+    // The audit table renders the decision.
+    for (const char *column : {"floor before", "floor after", "reason"})
+        EXPECT_NE(report.find(column), std::string::npos)
+            << "missing audit column '" << column << "' in:\n"
+            << report;
+    EXPECT_NE(report.find("shed"), std::string::npos);
+}
+
+// --------------------------------------------- end-to-end reconciliation
+
+TEST(TelemetryServer, ExpositionReconcilesWithStatsAndTrace)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Lstm);
+    nn::RnnNetwork network(config);
+    Rng rng(31);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(12, config.inputSize, 211);
+
+    serve::ServerOptions options;
+    options.slots = 3;
+    options.memo.predictor = memo::PredictorKind::Bnn;
+    options.memo.theta = 0.05;
+    options.telemetry.metrics = true;
+    options.telemetry.trace = true;
+    serve::Server server(network, &bnn, options);
+    ASSERT_NE(server.telemetry(), nullptr);
+
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        serve::Request request;
+        request.input = sequences[b];
+        request.deadlineMs = b % 3 == 0 ? 60000.0 : 0.0;
+        futures.push_back(server.enqueue(std::move(request)));
+    }
+    std::size_t total_steps = 0;
+    for (auto &future : futures)
+        total_steps += serve::Server::collect(future).steps;
+    server.stop(); // trace export and registry reads are post-stop
+
+    const serve::StatsSnapshot stats = server.stats();
+    ASSERT_EQ(stats.completed, sequences.size());
+
+    // Counters and stats are updated at the same Admission choke
+    // point, so they must agree EXACTLY — not approximately.
+    auto &registry = server.telemetry()->registry();
+    const auto counter = [&registry](const std::string &name) {
+        return registry.counter(name, "").value();
+    };
+    EXPECT_EQ(counter("nlfm_serve_completed_total{model=\"default\"}"),
+              stats.completed);
+    EXPECT_EQ(
+        counter("nlfm_serve_deadline_met_total{model=\"default\"}"),
+        stats.deadlineMet);
+    EXPECT_EQ(counter("nlfm_serve_steps_total{model=\"default\"}"),
+              total_steps);
+    EXPECT_EQ(total_steps, stats.totalSteps);
+    EXPECT_EQ(
+        counter(
+            "nlfm_serve_shed_total{model=\"default\",reason=\"expired\"}"),
+        0u);
+
+    // The exposition text carries the same values.
+    const std::string text = registry.exposition();
+    EXPECT_NE(
+        text.find("nlfm_serve_completed_total{model=\"default\"} " +
+                  std::to_string(stats.completed)),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("nlfm_serve_latency_ms_count " +
+                        std::to_string(stats.completed)),
+              std::string::npos)
+        << text;
+
+    // Trace reconciliation: queue/service lifecycle spans are recorded
+    // from the SAME SlotState timestamps the Response latency math
+    // uses, so their sums match the snapshot means to within 1%.
+    const serve::DriverTracer *tracer = server.telemetry()->tracer();
+    ASSERT_NE(tracer, nullptr);
+    EXPECT_EQ(tracer->dropped(), 0u);
+
+    double queue_ms = 0.0, service_ms = 0.0;
+    std::size_t queue_spans = 0, service_spans = 0;
+    for (const serve::TraceSpan &s : tracer->spans()) {
+        EXPECT_GE(s.durNs, 0);
+        if (s.phase == serve::TracePhase::Queue) {
+            queue_ms += static_cast<double>(s.durNs) / 1e6;
+            ++queue_spans;
+        } else if (s.phase == serve::TracePhase::Service) {
+            service_ms += static_cast<double>(s.durNs) / 1e6;
+            ++service_spans;
+        }
+    }
+    EXPECT_EQ(queue_spans, stats.completed);
+    EXPECT_EQ(service_spans, stats.completed);
+    const double n = static_cast<double>(stats.completed);
+    EXPECT_NEAR(queue_ms, stats.meanQueueMs * n,
+                0.01 * std::max(1e-6, stats.meanQueueMs * n));
+    EXPECT_NEAR(service_ms, stats.meanServiceMs * n,
+                0.01 * std::max(1e-6, stats.meanServiceMs * n));
+
+    // And the export renders those spans as a loadable trace.
+    const std::string trace = server.telemetry()->traceJson();
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"service\""), std::string::npos);
+    EXPECT_NE(trace.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(TelemetryServer, DisabledTelemetryKeepsOutputsBitIdentical)
+{
+    const nn::RnnConfig config = servingConfig(nn::CellType::Gru);
+    nn::RnnNetwork network(config);
+    Rng rng(43);
+    nn::initNetwork(network, rng);
+    nn::BinarizedNetwork bnn(network);
+    const auto sequences = makeSequences(6, config.inputSize, 307);
+
+    serve::ServerOptions base;
+    base.slots = 2;
+    base.memo.predictor = memo::PredictorKind::Bnn;
+    base.memo.theta = 0.08;
+
+    const auto serveAll = [&](const serve::ServerOptions &options) {
+        serve::Server server(network, &bnn, options);
+        EXPECT_EQ(server.telemetry() != nullptr,
+                  options.telemetry.enabled());
+        std::vector<std::future<serve::Response>> futures;
+        for (const auto &sequence : sequences) {
+            serve::Request request;
+            request.input = sequence;
+            futures.push_back(server.enqueue(std::move(request)));
+        }
+        std::vector<nn::Sequence> outputs;
+        for (auto &future : futures)
+            outputs.push_back(serve::Server::collect(future).output);
+        return outputs;
+    };
+
+    const auto plain = serveAll(base);
+    serve::ServerOptions instrumented = base;
+    instrumented.telemetry.metrics = true;
+    instrumented.telemetry.trace = true;
+    const auto traced = serveAll(instrumented);
+
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        expectSequenceIdentical(plain[b], traced[b],
+                                "telemetry on vs off, request " +
+                                    std::to_string(b));
+        expectSequenceIdentical(
+            serialReference(network, bnn, sequences[b],
+                            base.memo.theta),
+            plain[b], "vs serial, request " + std::to_string(b));
+    }
+}
+
+} // namespace
+} // namespace nlfm

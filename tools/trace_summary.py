@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate and summarize a serving trace written by bench_serving_load
+--trace-out (Chrome trace-event JSON, serve/trace.hh).
+
+Stdlib only. Checks the structural invariants the exporter guarantees —
+every event is either thread-name metadata (ph "M") or a complete
+duration event (ph "X") with non-negative microsecond ts/dur and a
+known phase name — then prints per-phase span counts and total/mean
+durations, plus the dropped-span count. Exit code 0 iff the file is a
+valid trace; any invariant violation prints the offending event and
+exits 1.
+
+Usage: tools/trace_summary.py trace.json
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {
+    "admit",
+    "session-restore",
+    "stage",
+    "probe",
+    "decide",
+    "commit",
+    "step",
+    "complete",
+    "queue",
+    "service",
+}
+
+
+def fail(message, event=None):
+    print(f"trace_summary: INVALID: {message}", file=sys.stderr)
+    if event is not None:
+        print(f"  event: {json.dumps(event)}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+
+    if "traceEvents" not in trace:
+        fail("no traceEvents array")
+    events = trace["traceEvents"]
+
+    phases = {}
+    metadata = 0
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                fail("unknown metadata event", event)
+            metadata += 1
+            continue
+        if ph != "X":
+            fail(f"unexpected event type {ph!r}", event)
+        name = event.get("name")
+        if name not in KNOWN_PHASES:
+            fail(f"unknown phase {name!r}", event)
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail("missing or negative ts", event)
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail("missing or negative dur", event)
+        count, total = phases.get(name, (0, 0.0))
+        phases[name] = (count + 1, total + dur)
+
+    dropped = trace.get("otherData", {}).get("dropped", 0)
+
+    print(f"{argv[1]}: {len(events) - metadata} spans, "
+          f"{metadata} track-name events, {dropped} dropped")
+    print(f"{'phase':<16} {'count':>7} {'total ms':>10} {'mean us':>9}")
+    for name in sorted(phases, key=lambda n: -phases[n][1]):
+        count, total_us = phases[name]
+        print(f"{name:<16} {count:>7} {total_us / 1e3:>10.2f} "
+              f"{total_us / count:>9.1f}")
+
+    # The lifecycle invariant the serving layer guarantees: every
+    # completed request recorded exactly one queue and one service span.
+    queue_count = phases.get("queue", (0, 0.0))[0]
+    service_count = phases.get("service", (0, 0.0))[0]
+    if dropped == 0 and queue_count != service_count:
+        fail(f"queue spans ({queue_count}) != service spans "
+             f"({service_count}) with no drops")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
