@@ -18,7 +18,12 @@ parseBenchArgs(int argc, const char *const *argv,
 {
     CliParser cli(description);
     cli.addString("networks", "all",
-                  "comma list of IMDB,DeepSpeech2,EESEN,MNMT");
+                  "comma list of IMDB,DeepSpeech2,EESEN,MNMT,"
+                  "RateRNN,BRC (all = the four Table-1 networks)");
+    cli.addString("cell", "",
+                  "repeatable: sweep one zoo network per cell family "
+                  "(lstm,gru,raternn,brc) on a matched theta grid "
+                  "(fig16; overrides --networks)");
     cli.addInt("steps", 0, "timesteps per sequence (0 = spec default)");
     cli.addInt("sequences", 0, "sequences per split (0 = spec default)");
     cli.addInt("theta-points", 8, "threshold sweep resolution");
@@ -59,6 +64,7 @@ parseBenchArgs(int argc, const char *const *argv,
     options.sessionTurns = cli.getBool("session-turns");
     options.out = cli.getString("out");
     options.traceOut = cli.getString("trace-out");
+    options.cells = cli.getStringList("cell");
 
     const std::string networks = cli.getString("networks");
     if (networks == "all") {

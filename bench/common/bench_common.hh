@@ -30,7 +30,12 @@ namespace nlfm::bench
 /** Common bench configuration. */
 struct BenchOptions
 {
-    std::vector<std::string> networks; ///< subset of the Table-1 zoo
+    std::vector<std::string> networks; ///< subset of the model zoo
+    /// Cell families selected with repeatable --cell flags (descriptor
+    /// cli names, e.g. lstm/gru/raternn/brc). Empty when the flag was
+    /// not given; benches that support the per-cell mode (fig16) map
+    /// each family to its representative zoo network.
+    std::vector<std::string> cells;
     std::size_t steps = 0;             ///< 0 = spec default
     std::size_t sequences = 0;         ///< 0 = spec default
     std::size_t thetaPoints = 8;       ///< sweep resolution

@@ -7,13 +7,112 @@
  * extremely similar to the Oracle's; EESEN/IMDB reach up to ~40 % reuse
  * below 3 % loss; DeepSpeech reaches ~20 % below 2 %; the MNMT BNN
  * tracks the oracle only up to ~23 % reuse (weakest correlation).
+ *
+ * --cell mode (repeatable, e.g. `--cell lstm --cell raternn`) swaps the
+ * x-axis from networks to cell families: each family runs on its
+ * representative zoo network (lstm -> IMDB, gru -> DeepSpeech2,
+ * raternn -> RateRNN, brc -> BRC) and every family is swept on the SAME
+ * theta grid (shared thetaMax = the max over the selected specs) so the
+ * per-cell reuse-vs-loss curves are directly comparable point by point.
+ * Full (non --quick) cell-mode runs write BENCH_PR10.json (or --out).
  */
 
-#include "common/bench_common.hh"
+#include <algorithm>
+#include <cstdio>
 
+#include "common/bench_common.hh"
+#include "common/logging.hh"
 #include "common/report.hh"
+#include "nn/cell_descriptor.hh"
 
 using namespace nlfm;
+
+namespace
+{
+
+/** Representative zoo network for one --cell family. */
+std::string
+networkForCell(const std::string &cli_name)
+{
+    // cellTypeByName is fatal (with the known-name list) on a typo, so
+    // a bad --cell value dies before any workload is built.
+    switch (nn::cellTypeByName(cli_name)) {
+      case nn::CellType::Lstm:
+        return "IMDB";
+      case nn::CellType::Gru:
+        return "DeepSpeech2";
+      case nn::CellType::RateRnn:
+        return "RateRNN";
+      case nn::CellType::Brc:
+        return "BRC";
+    }
+    nlfm_panic("unmapped cell family: ", cli_name);
+}
+
+/** One family's swept curve (cell mode). */
+struct CellCurve
+{
+    std::string cell;    ///< descriptor cliName
+    std::string network; ///< zoo spec the family ran on
+    std::string metric;  ///< loss metric of that workload
+    std::vector<memo::TunePoint> oracle;
+    std::vector<memo::TunePoint> bnn;
+};
+
+void
+writeCellJson(const bench::BenchOptions &options,
+              std::span<const double> thetas,
+              std::span<const CellCurve> curves)
+{
+    const std::string out_path =
+        options.out.empty() ? "BENCH_PR10.json" : options.out;
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json)
+        return;
+    std::fprintf(json, "{\n  \"pr\": 10,\n");
+    std::fprintf(json,
+                 "  \"title\": \"Pluggable recurrent-cell layer: "
+                 "per-cell reuse vs accuracy curves\",\n");
+    std::fprintf(json,
+                 "  \"bench\": \"bench_fig16_reuse_vs_accuracy --cell "
+                 "... (full mode, matched theta grid)\",\n");
+    std::fprintf(json, "  \"theta_grid\": [");
+    for (std::size_t i = 0; i < thetas.size(); ++i)
+        std::fprintf(json, "%s%.4f", i ? ", " : "", thetas[i]);
+    std::fprintf(json, "],\n  \"per_cell\": [\n");
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+        const CellCurve &curve = curves[c];
+        std::fprintf(json,
+                     "    { \"cell\": \"%s\", \"network\": \"%s\", "
+                     "\"loss_metric\": \"%s drift\",\n"
+                     "      \"points\": [\n",
+                     curve.cell.c_str(), curve.network.c_str(),
+                     curve.metric.c_str());
+        for (std::size_t i = 0; i < thetas.size(); ++i) {
+            std::fprintf(
+                json,
+                "        { \"theta\": %.4f, \"oracle_reuse\": %.4f, "
+                "\"oracle_loss_pct\": %.3f, \"bnn_reuse\": %.4f, "
+                "\"bnn_loss_pct\": %.3f }%s\n",
+                thetas[i], curve.oracle[i].reuse,
+                curve.oracle[i].accuracyLoss, curve.bnn[i].reuse,
+                curve.bnn[i].accuracyLoss,
+                i + 1 < thetas.size() ? "," : "");
+        }
+        std::fprintf(json, "      ] }%s\n",
+                     c + 1 < curves.size() ? "," : "");
+    }
+    std::fprintf(
+        json,
+        "  ],\n  \"acceptance\": { \"requirement\": \"curves for all "
+        "four cell families at matched theta sweeps; every family "
+        "runs through the unmodified MemoEngine/BatchMemoEngine "
+        "(zero cell-type branches in src/memo and src/serve)\" }\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -21,15 +120,46 @@ main(int argc, char **argv)
     bench::BenchOptions options = bench::parseBenchArgs(
         argc, argv,
         "Fig. 16 — reuse vs accuracy loss, Oracle and BNN predictors");
+
+    // Cell mode: one representative network per family, matched grid.
+    const bool cell_mode = !options.cells.empty();
+    std::vector<double> shared_thetas;
+    if (cell_mode) {
+        options.networks.clear();
+        double theta_max = 0.0;
+        for (const auto &cell : options.cells) {
+            const std::string network = networkForCell(cell);
+            options.networks.push_back(network);
+            theta_max = std::max(
+                theta_max, workloads::specByName(network).thetaMax);
+        }
+        workloads::NetworkSpec grid_spec;
+        grid_spec.thetaMax = theta_max;
+        shared_thetas = bench::thetaGrid(grid_spec, options.thetaPoints);
+    }
     bench::printBanner("Figure 16: reuse vs accuracy loss", options);
+    if (cell_mode) {
+        std::printf("cell mode:");
+        for (std::size_t c = 0; c < options.cells.size(); ++c)
+            std::printf(" %s->%s", options.cells[c].c_str(),
+                        options.networks[c].c_str());
+        std::printf("  (matched theta grid, max %.2f)\n\n",
+                    shared_thetas.back());
+    }
 
     bench::WorkloadSet set(options);
-    for (const auto &name : set.names()) {
+    std::vector<CellCurve> curves;
+    for (std::size_t w = 0; w < set.names().size(); ++w) {
+        const std::string &name = set.names()[w];
         auto &evaluator = set.evaluator(name);
         const auto &spec = set.get(name).spec;
-        const auto thetas = bench::thetaGrid(spec, options.thetaPoints);
+        const auto thetas =
+            cell_mode ? shared_thetas
+                      : bench::thetaGrid(spec, options.thetaPoints);
 
-        TablePrinter table(name + " (loss metric: " +
+        const std::string label =
+            cell_mode ? options.cells[w] + " (" + name + ")" : name;
+        TablePrinter table(label + " (loss metric: " +
                            spec.paperAccuracyMetric + " drift)");
         table.setHeader({"theta", "oracle_reuse_%", "oracle_loss_%",
                          "bnn_reuse_%", "bnn_loss_%"});
@@ -50,11 +180,22 @@ main(int argc, char **argv)
                           bench::pct(bnn[i].reuse),
                           formatDouble(bnn[i].accuracyLoss, 2)});
         }
-        table.print("fig16_" + name);
+        table.print("fig16_" + (cell_mode ? options.cells[w] : name));
+
+        if (cell_mode) {
+            curves.push_back({options.cells[w], name,
+                              spec.paperAccuracyMetric, oracle, bnn});
+        }
     }
 
-    std::printf("paper reference: BNN tracks the Oracle closely below "
-                "~2%% loss on EESEN/IMDB/DeepSpeech; MNMT diverges "
-                "earliest (lowest BNN/RNN correlation).\n");
+    if (cell_mode && !options.quick)
+        writeCellJson(options, shared_thetas, curves);
+
+    if (!cell_mode) {
+        std::printf(
+            "paper reference: BNN tracks the Oracle closely below "
+            "~2%% loss on EESEN/IMDB/DeepSpeech; MNMT diverges "
+            "earliest (lowest BNN/RNN correlation).\n");
+    }
     return 0;
 }

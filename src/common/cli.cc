@@ -87,6 +87,7 @@ CliParser::parse(int argc, const char *const *argv)
             }
         }
         it->second.value = value;
+        it->second.values.push_back(value);
     }
     return true;
 }
@@ -118,6 +119,12 @@ CliParser::getDouble(const std::string &name) const
 {
     const auto &opt = find(name, Kind::Double);
     return std::strtod(opt.value.c_str(), nullptr);
+}
+
+std::vector<std::string>
+CliParser::getStringList(const std::string &name) const
+{
+    return find(name, Kind::String).values;
 }
 
 bool

@@ -51,6 +51,13 @@ class CliParser
     double getDouble(const std::string &name) const;
     bool getBool(const std::string &name) const;
 
+    /**
+     * Every occurrence of a repeatable string option, in argv order
+     * (`--cell raternn --cell brc` -> {"raternn", "brc"}). Empty when
+     * the flag was never given — the default value is NOT included.
+     */
+    std::vector<std::string> getStringList(const std::string &name) const;
+
     /** Print the generated help screen. */
     void printUsage() const;
 
@@ -60,9 +67,10 @@ class CliParser
     struct Option
     {
         Kind kind;
-        std::string value;
+        std::string value; ///< last occurrence (or the default)
         std::string defaultValue;
         std::string help;
+        std::vector<std::string> values; ///< every occurrence, in order
     };
 
     const Option &find(const std::string &name, Kind kind) const;

@@ -22,16 +22,18 @@ namespace nlfm::nn
 {
 
 /**
- * Recurrent state of one cell for a whole batch. h and c are
- * [B x hidden] (row b = sequence slot b); preact holds one [B x hidden]
- * scratch panel per gate; scratch is the GRU reset-modulated hidden
- * panel. Owned per evaluation chunk, so concurrent chunks never share
- * mutable state.
+ * Recurrent state of one cell for a whole batch, shaped by the cell's
+ * descriptor. h is state slot 0, [B x hidden] (row b = sequence slot
+ * b); extra[i] is descriptor state slot i+1 (LSTM: extra[0] = cell
+ * state c); preact holds one [B x hidden] scratch panel per gate;
+ * scratch is the modulated-hidden panel of cells whose candidate gate
+ * reads a gated recurrent operand (GRU r.h, BRC a.h). Owned per
+ * evaluation chunk, so concurrent chunks never share mutable state.
  */
 struct BatchCellState
 {
     tensor::Matrix h;
-    tensor::Matrix c;
+    std::vector<tensor::Matrix> extra;
     std::vector<tensor::Matrix> preact;
     tensor::Matrix scratch;
 };

@@ -1,0 +1,152 @@
+#include "nn/cell_descriptor.hh"
+
+#include "common/logging.hh"
+#include "nn/brc_cell.hh"
+#include "nn/gru_cell.hh"
+#include "nn/lstm_cell.hh"
+#include "nn/rate_rnn_cell.hh"
+#include "nn/train_kernels.hh"
+
+namespace nlfm::nn
+{
+
+namespace
+{
+
+// --- LSTM ------------------------------------------------------------
+
+constexpr GateSpec kLstmGates[] = {
+    {"input", GateAux::Peephole, false},
+    {"forget", GateAux::Peephole, true},
+    {"update", GateAux::None, false},
+    {"output", GateAux::Peephole, false},
+};
+constexpr const char *kLstmSlots[] = {"h", "c"};
+
+std::unique_ptr<RnnCell>
+makeLstm(std::size_t x_size, const RnnConfig &config)
+{
+    return std::make_unique<LstmCell>(x_size, config.hiddenSize,
+                                      config.peepholes);
+}
+
+// --- GRU -------------------------------------------------------------
+
+constexpr GateSpec kGruGates[] = {
+    {"update", GateAux::None, false},
+    {"reset", GateAux::None, false},
+    {"candidate", GateAux::None, false},
+};
+constexpr const char *kGruSlots[] = {"h"};
+
+std::unique_ptr<RnnCell>
+makeGru(std::size_t x_size, const RnnConfig &config)
+{
+    return std::make_unique<GruCell>(x_size, config.hiddenSize);
+}
+
+// --- Rate RNN --------------------------------------------------------
+
+constexpr GateSpec kRateRnnGates[] = {
+    {"drive", GateAux::Leak, false},
+};
+constexpr const char *kRateRnnSlots[] = {"r"};
+
+std::unique_ptr<RnnCell>
+makeRateRnn(std::size_t x_size, const RnnConfig &config)
+{
+    return std::make_unique<RateRnnCell>(x_size, config.hiddenSize);
+}
+
+// --- BRC -------------------------------------------------------------
+
+constexpr GateSpec kBrcGates[] = {
+    {"mod", GateAux::None, false},
+    {"update", GateAux::None, true},
+    {"candidate", GateAux::None, false},
+};
+constexpr const char *kBrcSlots[] = {"h"};
+
+std::unique_ptr<RnnCell>
+makeBrc(std::size_t x_size, const RnnConfig &config)
+{
+    return std::make_unique<BrcCell>(x_size, config.hiddenSize);
+}
+
+// Indexed by CellType's integer value; the enum doubles as the on-disk
+// cell id (nn/serialize.cc), so order here must match rnn_config.hh.
+constexpr CellDescriptor kDescriptors[] = {
+    {CellType::Lstm, "LSTM", "lstm", kLstmGates, kLstmSlots, makeLstm,
+     train::lstmBpttKernel},
+    {CellType::Gru, "GRU", "gru", kGruGates, kGruSlots, makeGru,
+     train::gruBpttKernel},
+    {CellType::RateRnn, "RateRNN", "raternn", kRateRnnGates,
+     kRateRnnSlots, makeRateRnn, train::rateRnnBpttKernel},
+    {CellType::Brc, "BRC", "brc", kBrcGates, kBrcSlots, makeBrc,
+     train::brcBpttKernel},
+};
+
+constexpr std::size_t kFamilyCount =
+    sizeof(kDescriptors) / sizeof(kDescriptors[0]);
+
+} // namespace
+
+const CellDescriptor &
+cellDescriptor(CellType type)
+{
+    const auto index = static_cast<std::size_t>(type);
+    nlfm_assert(index < kFamilyCount, "unregistered cell type ", index);
+    return kDescriptors[index];
+}
+
+std::size_t
+gateCount(CellType type)
+{
+    return cellDescriptor(type).gates.size();
+}
+
+const char *
+gateName(CellType type, std::size_t g)
+{
+    const CellDescriptor &desc = cellDescriptor(type);
+    nlfm_assert(g < desc.gates.size(), "bad gate index ", g, " for ",
+                desc.name);
+    return desc.gates[g].name;
+}
+
+const char *
+cellTypeName(CellType type)
+{
+    return cellDescriptor(type).name;
+}
+
+bool
+isKnownCellType(std::uint32_t raw)
+{
+    return raw < kFamilyCount;
+}
+
+std::string
+knownCellNames()
+{
+    std::string names;
+    for (const auto &desc : kDescriptors) {
+        if (!names.empty())
+            names += ", ";
+        names += desc.cliName;
+    }
+    return names;
+}
+
+CellType
+cellTypeByName(const std::string &name)
+{
+    for (const auto &desc : kDescriptors) {
+        if (name == desc.cliName)
+            return desc.type;
+    }
+    nlfm_fatal("unknown cell family \"", name, "\" (known: ",
+               knownCellNames(), ")");
+}
+
+} // namespace nlfm::nn

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "nn/cell_descriptor.hh"
 #include "tensor/vector_ops.hh"
 
 namespace nlfm::nn
@@ -31,28 +32,6 @@ DirectEvaluator::evaluateGate(const GateInstance &instance,
     });
 }
 
-const char *
-gateName(CellType type, std::size_t g)
-{
-    if (type == CellType::Lstm) {
-        switch (g) {
-          case LstmInput: return "input";
-          case LstmForget: return "forget";
-          case LstmUpdate: return "update";
-          case LstmOutput: return "output";
-          default: break;
-        }
-    } else {
-        switch (g) {
-          case GruUpdate: return "update";
-          case GruReset: return "reset";
-          case GruCandidate: return "candidate";
-          default: break;
-        }
-    }
-    nlfm_panic("bad gate index ", g);
-}
-
 std::size_t
 RnnConfig::totalWeights() const
 {
@@ -68,7 +47,7 @@ RnnConfig::totalWeights() const
 std::string
 RnnConfig::describe() const
 {
-    std::string text = cellType == CellType::Lstm ? "LSTM" : "GRU";
+    std::string text = cellDescriptor(cellType).name;
     if (bidirectional)
         text = "Bi" + text;
     text += " layers=" + std::to_string(layers);

@@ -6,7 +6,8 @@ namespace nlfm::nn
 {
 
 void
-initGate(GateParams &params, Rng &rng, const InitOptions &options)
+initGate(GateParams &params, Rng &rng, const InitOptions &options,
+         GateAux aux)
 {
     const double scale_x =
         options.gain / std::sqrt(static_cast<double>(params.xSize()));
@@ -29,20 +30,24 @@ initGate(GateParams &params, Rng &rng, const InitOptions &options)
     }
     for (auto &bias : params.bias)
         bias = 0.f;
-    for (auto &peephole : params.peephole)
-        peephole = static_cast<float>(rng.normal(0.0,
-                                                 options.peepholeScale));
+    if (aux != GateAux::Leak) {
+        for (auto &peephole : params.peephole)
+            peephole = static_cast<float>(
+                rng.normal(0.0, options.peepholeScale));
+    }
 }
 
 void
 initNetwork(RnnNetwork &network, Rng &rng, const InitOptions &options)
 {
-    const bool lstm = network.config().cellType == CellType::Lstm;
+    const CellDescriptor &desc =
+        cellDescriptor(network.config().cellType);
     for (const auto &inst : network.gateInstances()) {
         Rng stream = rng.fork(inst.instanceId);
         GateParams &params = network.gateParams(inst.instanceId);
-        initGate(params, stream, options);
-        if (lstm && inst.gate == LstmForget) {
+        const GateSpec &spec = desc.gates[inst.gate];
+        initGate(params, stream, options, spec.aux);
+        if (spec.biasBoost) {
             for (auto &bias : params.bias)
                 bias = static_cast<float>(options.forgetBias);
         }

@@ -14,6 +14,7 @@
 #define NLFM_NN_INIT_HH
 
 #include "common/rng.hh"
+#include "nn/cell_descriptor.hh"
 #include "nn/rnn_network.hh"
 
 namespace nlfm::nn
@@ -24,7 +25,10 @@ struct InitOptions
 {
     /** Multiplier on the 1/sqrt(fan_in) weight scale. */
     double gain = 1.0;
-    /** LSTM forget-gate bias (ignored for GRU). */
+    /**
+     * Bias of the descriptor's biasBoost gate (LSTM forget gate, BRC
+     * update gate); ignored by families without one (GRU, rate RNN).
+     */
     double forgetBias = 1.0;
     /** Stddev of peephole weights. */
     double peepholeScale = 0.1;
@@ -42,8 +46,14 @@ struct InitOptions
     double magnitudeDispersion = 1.0;
 };
 
-/** Initialize one gate in place. */
-void initGate(GateParams &params, Rng &rng, const InitOptions &options);
+/**
+ * Initialize one gate in place. @p aux says what the gate's auxiliary
+ * vector means: Peephole (and None, where the vector is empty) draws it
+ * from @p rng; Leak preserves the cell-constructor values (per-neuron
+ * time constants are structure, not trainable weights).
+ */
+void initGate(GateParams &params, Rng &rng, const InitOptions &options,
+              GateAux aux = GateAux::Peephole);
 
 /**
  * Initialize every gate of the network; deterministic given the seed of

@@ -10,7 +10,8 @@ void
 CellState::reset()
 {
     std::fill(h.begin(), h.end(), 0.f);
-    std::fill(c.begin(), c.end(), 0.f);
+    for (auto &slot : extra)
+        std::fill(slot.begin(), slot.end(), 0.f);
 }
 
 RnnCell::RnnCell(std::size_t x_size, std::size_t hidden)
@@ -64,7 +65,8 @@ LstmCell::makeState() const
 {
     CellState state;
     state.h.assign(hidden_, 0.f);
-    state.c.assign(hidden_, 0.f);
+    state.extra.resize(1);
+    state.extra[0].assign(hidden_, 0.f);
     return state;
 }
 
@@ -73,7 +75,8 @@ LstmCell::step(std::span<const float> x, CellState &state,
                GateEvaluator &eval)
 {
     nlfm_assert(x.size() == xSize_, "LSTM step: x width mismatch");
-    nlfm_assert(state.h.size() == hidden_ && state.c.size() == hidden_,
+    nlfm_assert(state.h.size() == hidden_ && state.extra.size() == 1 &&
+                    state.extra[0].size() == hidden_,
                 "LSTM step: state shape mismatch");
     nlfm_assert(instances_.size() == 4, "cell instances not assigned");
 
@@ -82,8 +85,9 @@ LstmCell::step(std::span<const float> x, CellState &state,
     for (std::size_t g = 0; g < 4; ++g)
         eval.evaluateGate(instances_[g], gates_[g], x, state.h, preact_[g]);
 
+    std::vector<float> &c_state = state.extra[0];
     for (std::size_t n = 0; n < hidden_; ++n) {
-        const float c_prev = state.c[n];
+        const float c_prev = c_state[n];
 
         float zi = preact_[LstmInput][n] + gates_[LstmInput].bias[n];
         float zf = preact_[LstmForget][n] + gates_[LstmForget].bias[n];
@@ -103,7 +107,7 @@ LstmCell::step(std::span<const float> x, CellState &state,
             zo += gates_[LstmOutput].peephole[n] * c_t;
         const float o_t = sigmoid(zo);
 
-        state.c[n] = c_t;
+        c_state[n] = c_t;
         state.h[n] = o_t * tanhAct(c_t);
     }
 }
@@ -113,7 +117,7 @@ LstmCell::makeBatchState(std::size_t batch) const
 {
     BatchCellState state;
     state.h = tensor::Matrix(batch, hidden_);
-    state.c = tensor::Matrix(batch, hidden_);
+    state.extra.assign(1, tensor::Matrix(batch, hidden_));
     state.preact.assign(4, tensor::Matrix(batch, hidden_));
     return state;
 }
@@ -125,7 +129,8 @@ LstmCell::stepBatch(const tensor::Matrix &x,
                     BatchGateEvaluator &eval)
 {
     nlfm_assert(x.cols() == xSize_, "LSTM stepBatch: x width mismatch");
-    nlfm_assert(state.h.cols() == hidden_ && state.c.cols() == hidden_,
+    nlfm_assert(state.h.cols() == hidden_ && state.extra.size() == 1 &&
+                    state.extra[0].cols() == hidden_,
                 "LSTM stepBatch: state shape mismatch");
     nlfm_assert(instances_.size() == 4, "cell instances not assigned");
 
@@ -142,7 +147,7 @@ LstmCell::stepBatch(const tensor::Matrix &x,
         const auto pre_g = state.preact[LstmUpdate].row(b);
         const auto pre_o = state.preact[LstmOutput].row(b);
         const auto h_row = state.h.row(b);
-        const auto c_row = state.c.row(b);
+        const auto c_row = state.extra[0].row(b);
         for (std::size_t n = 0; n < hidden_; ++n) {
             const float c_prev = c_row[n];
 

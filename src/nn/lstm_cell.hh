@@ -15,11 +15,16 @@
 namespace nlfm::nn
 {
 
-/** Recurrent state carried between timesteps. */
+/**
+ * Recurrent state carried between timesteps, shaped by the cell's
+ * descriptor: h is state slot 0 (the hidden/output vector every family
+ * has); extra[i] is descriptor state slot i+1 (LSTM: extra[0] = c_t;
+ * GRU/BRC/rate RNN carry no extra slots).
+ */
 struct CellState
 {
-    std::vector<float> h; ///< hidden/output vector h_t
-    std::vector<float> c; ///< cell state c_t (LSTM only; empty for GRU)
+    std::vector<float> h;
+    std::vector<std::vector<float>> extra;
 
     /** Zero the state (start of a sequence). */
     void reset();
@@ -62,9 +67,10 @@ class RnnCell
                       GateEvaluator &eval) = 0;
 
     /**
-     * Allocate a zeroed batch state (h/c panels plus per-gate scratch)
-     * for @p batch sequence slots. States are owned by the caller, so
-     * concurrent chunks stepping the same shared cell never race.
+     * Allocate a zeroed batch state (state-slot panels plus per-gate
+     * scratch) for @p batch sequence slots. States are owned by the
+     * caller, so concurrent chunks stepping the same shared cell never
+     * race.
      */
     virtual BatchCellState makeBatchState(std::size_t batch) const = 0;
 

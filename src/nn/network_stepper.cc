@@ -27,9 +27,9 @@ NetworkStepper::resetSlot(std::size_t slot)
     for (auto &state : states_) {
         const auto h_row = state.h.row(slot);
         std::fill(h_row.begin(), h_row.end(), 0.f);
-        if (!state.c.empty()) {
-            const auto c_row = state.c.row(slot);
-            std::fill(c_row.begin(), c_row.end(), 0.f);
+        for (auto &panel : state.extra) {
+            const auto row = panel.row(slot);
+            std::fill(row.begin(), row.end(), 0.f);
         }
     }
 }
@@ -39,15 +39,14 @@ NetworkStepper::exportSlot(std::size_t slot, SlotCellState &out) const
 {
     nlfm_assert(slot < slots_, "exportSlot: slot out of range");
     out.h.resize(states_.size());
-    out.c.resize(states_.size());
+    out.extra.resize(states_.size());
     for (std::size_t l = 0; l < states_.size(); ++l) {
         const auto h_row = states_[l].h.row(slot);
         out.h[l].assign(h_row.begin(), h_row.end());
-        if (states_[l].c.empty()) {
-            out.c[l].clear();
-        } else {
-            const auto c_row = states_[l].c.row(slot);
-            out.c[l].assign(c_row.begin(), c_row.end());
+        out.extra[l].resize(states_[l].extra.size());
+        for (std::size_t i = 0; i < states_[l].extra.size(); ++i) {
+            const auto row = states_[l].extra[i].row(slot);
+            out.extra[l][i].assign(row.begin(), row.end());
         }
     }
 }
@@ -57,7 +56,7 @@ NetworkStepper::restoreSlot(std::size_t slot, const SlotCellState &state)
 {
     nlfm_assert(slot < slots_, "restoreSlot: slot out of range");
     nlfm_assert(state.h.size() == states_.size() &&
-                    state.c.size() == states_.size(),
+                    state.extra.size() == states_.size(),
                 "restoreSlot: snapshot layer count mismatch (session "
                 "state from a different network?)");
     for (std::size_t l = 0; l < states_.size(); ++l) {
@@ -65,15 +64,16 @@ NetworkStepper::restoreSlot(std::size_t slot, const SlotCellState &state)
         nlfm_assert(state.h[l].size() == h_row.size(),
                     "restoreSlot: hidden width mismatch at layer ", l);
         std::copy(state.h[l].begin(), state.h[l].end(), h_row.begin());
-        nlfm_assert(state.c[l].empty() == states_[l].c.empty(),
-                    "restoreSlot: cell-state presence mismatch at "
-                    "layer ", l);
-        if (!states_[l].c.empty()) {
-            const auto c_row = states_[l].c.row(slot);
-            nlfm_assert(state.c[l].size() == c_row.size(),
-                        "restoreSlot: cell width mismatch at layer ", l);
-            std::copy(state.c[l].begin(), state.c[l].end(),
-                      c_row.begin());
+        nlfm_assert(state.extra[l].size() == states_[l].extra.size(),
+                    "restoreSlot: state-slot count mismatch at layer ",
+                    l);
+        for (std::size_t i = 0; i < states_[l].extra.size(); ++i) {
+            const auto row = states_[l].extra[i].row(slot);
+            nlfm_assert(state.extra[l][i].size() == row.size(),
+                        "restoreSlot: state-slot width mismatch at "
+                        "layer ", l);
+            std::copy(state.extra[l][i].begin(), state.extra[l][i].end(),
+                      row.begin());
         }
     }
 }

@@ -31,18 +31,20 @@
 namespace nlfm::nn
 {
 
-/// Snapshot of one slot's recurrent state across every layer: the h row
-/// (and c row for cells that carry one) of each BatchCellState. The
-/// portable carrier of the serving tier's session warm-start
+/// Snapshot of one slot's recurrent state across every layer: every
+/// descriptor state slot's row of each BatchCellState. The portable
+/// carrier of the serving tier's session warm-start
 /// (serve::SessionStore) — a slot restored from a snapshot continues
 /// stepping exactly where the exporting slot left off, regardless of
-/// which slot index either side used.
+/// which slot index either side used. The shape follows the cell's
+/// descriptor, so the serve layer carries it opaquely for any family.
 struct SlotCellState
 {
     /// h[layer]: hidden row of that layer (hiddenSize floats).
     std::vector<std::vector<float>> h;
-    /// c[layer]: cell row, empty for cell-less layers (GRU/vanilla).
-    std::vector<std::vector<float>> c;
+    /// extra[layer][i]: descriptor state slot i+1 of that layer (LSTM:
+    /// extra[layer][0] = cell row; empty for single-slot families).
+    std::vector<std::vector<std::vector<float>>> extra;
 
     bool empty() const { return h.empty(); }
 };
@@ -65,12 +67,13 @@ class NetworkStepper
     /// resident model and route requests by it).
     const RnnNetwork &network() const { return network_; }
 
-    /// Zero the recurrent state (h, and c for LSTM) of one slot in every
-    /// layer — the admission step. The memo engine's state for the slot
-    /// is reset separately (BatchMemoEngine::admitSlot).
+    /// Zero the recurrent state (every descriptor state slot) of one
+    /// slot in every layer — the admission step. The memo engine's
+    /// state for the slot is reset separately
+    /// (BatchMemoEngine::admitSlot).
     void resetSlot(std::size_t slot);
 
-    /// Copy one slot's recurrent state (h, and c where present, of every
+    /// Copy one slot's recurrent state (every state slot of every
     /// layer) out of the panels — the completion-side half of session
     /// warm-start. @p out is resized; safe to reuse across calls.
     void exportSlot(std::size_t slot, SlotCellState &out) const;

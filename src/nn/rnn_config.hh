@@ -12,19 +12,23 @@
 namespace nlfm::nn
 {
 
-/** Recurrent cell family. */
+/**
+ * Recurrent cell family. Everything structural about a family (gate
+ * count/names, state slots, factory, train kernel) lives in its
+ * CellDescriptor (nn/cell_descriptor.hh); enum values double as the
+ * on-disk cell id (nn/serialize.cc), so only append.
+ */
 enum class CellType
 {
-    Lstm, ///< Hochreiter & Schmidhuber; 4 gates (i, f, g, o), Eqs. 1-6
-    Gru,  ///< Cho et al.; 3 gates (z, r, g)
+    Lstm,    ///< Hochreiter & Schmidhuber; 4 gates (i, f, g, o), Eqs. 1-6
+    Gru,     ///< Cho et al.; 3 gates (z, r, g)
+    RateRnn, ///< continuous-time rate RNN, Euler-discretized; 1 gate,
+             ///< per-neuron leak dt/tau
+    Brc,     ///< bistable recurrent cell (Vecoven et al. 2020); 3 gates
 };
 
 /** Number of fully-connected gates in a cell of the given type. */
-constexpr std::size_t
-gateCount(CellType type)
-{
-    return type == CellType::Lstm ? 4 : 3;
-}
+std::size_t gateCount(CellType type);
 
 /** Human-readable short name of gate @p g for the given cell type. */
 const char *gateName(CellType type, std::size_t g);
@@ -44,6 +48,20 @@ enum GruGate : std::size_t
     GruUpdate = 0, ///< z_t
     GruReset = 1,  ///< r_t
     GruCandidate = 2,
+};
+
+/** Rate-RNN gate indices. */
+enum RateRnnGate : std::size_t
+{
+    RateDrive = 0, ///< Wr + Bu drive inside Phi
+};
+
+/** BRC gate indices. */
+enum BrcGate : std::size_t
+{
+    BrcMod = 0,       ///< a_t, bistability modulation
+    BrcUpdate = 1,    ///< c_t, update/retain gate
+    BrcCandidate = 2, ///< g_t, candidate
 };
 
 /**

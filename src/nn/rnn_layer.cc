@@ -1,6 +1,7 @@
 #include "nn/rnn_layer.hh"
 
 #include "common/logging.hh"
+#include "nn/cell_descriptor.hh"
 
 namespace nlfm::nn
 {
@@ -10,14 +11,9 @@ RnnLayer::RnnLayer(const RnnConfig &config, std::size_t layer_index)
       inputSize_(config.layerInputSize(layer_index)),
       hidden_(config.hiddenSize)
 {
-    for (std::size_t dir = 0; dir < config.directions(); ++dir) {
-        if (config.cellType == CellType::Lstm) {
-            cells_.push_back(std::make_unique<LstmCell>(
-                inputSize_, hidden_, config.peepholes));
-        } else {
-            cells_.push_back(std::make_unique<GruCell>(inputSize_, hidden_));
-        }
-    }
+    const CellDescriptor &desc = cellDescriptor(config.cellType);
+    for (std::size_t dir = 0; dir < config.directions(); ++dir)
+        cells_.push_back(desc.makeCell(inputSize_, config));
 }
 
 std::size_t

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "nn/cell_descriptor.hh"
 
 namespace nlfm::nn
 {
@@ -93,7 +94,12 @@ saveNetwork(const RnnNetwork &network, const std::string &path)
 
     FileHeader header{};
     std::memcpy(header.magic, magic, sizeof(magic));
-    header.version = 1;
+    // Version 1 predates the pluggable cell registry and only ever held
+    // LSTM/GRU networks; keep emitting it for those two so their files
+    // stay byte-identical across the refactor. Registry-era families
+    // are stamped version 2 (same layout, wider cellType domain).
+    header.version =
+        config.cellType <= CellType::Gru ? 1 : 2;
     header.cellType = static_cast<std::uint32_t>(config.cellType);
     header.inputSize = config.inputSize;
     header.hiddenSize = config.hiddenSize;
@@ -119,8 +125,17 @@ loadNetwork(const std::string &path)
     file.read(&header, sizeof(header));
     if (std::memcmp(header.magic, magic, sizeof(magic)) != 0)
         nlfm_fatal(path, " is not an NLFM network file");
-    if (header.version != 1)
+    if (header.version != 1 && header.version != 2)
         nlfm_fatal("unsupported network file version ", header.version);
+    if (!isKnownCellType(header.cellType))
+        nlfm_fatal(path, " holds an unknown cell family id ",
+                   header.cellType, "; this build knows ",
+                   knownCellNames());
+    if (header.version == 1 &&
+        header.cellType > static_cast<std::uint32_t>(CellType::Gru))
+        nlfm_fatal(path, " is corrupt: version 1 files predate cell "
+                         "family ",
+                   cellTypeName(static_cast<CellType>(header.cellType)));
 
     RnnConfig config;
     config.cellType = static_cast<CellType>(header.cellType);

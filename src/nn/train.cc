@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "nn/activations.hh"
+#include "nn/cell_descriptor.hh"
 #include "tensor/vector_ops.hh"
 
 namespace nlfm::nn::train
@@ -146,30 +147,15 @@ SoftmaxHead::predict(std::span<const float> h) const
 // BpttTrainer
 // ---------------------------------------------------------------------
 
-/** Per-layer forward activations cached for the backward pass. */
-struct BpttTrainer::LayerCache
-{
-    // Inputs to this layer, one vector per timestep.
-    Sequence x;
-    // Hidden states h_t (and c_t for LSTM), one per timestep.
-    Sequence h;
-    Sequence c;
-    // Gate activations per timestep.
-    Sequence gate[4];
-    // tanh(c_t) for LSTM; r.h_prev for GRU (reset-modulated hidden).
-    Sequence aux;
-};
-
 BpttTrainer::BpttTrainer(RnnNetwork &network, SoftmaxHead &head,
                          const TrainConfig &config)
-    : network_(network), head_(head), config_(config)
+    : network_(network), head_(head), config_(config),
+      kernel_(cellDescriptor(network.config().cellType).bpttKernel())
 {
     const RnnConfig &cfg = network.config();
     nlfm_assert(!cfg.bidirectional,
                 "BpttTrainer supports unidirectional networks only");
-    nlfm_assert(cfg.cellType != CellType::Lstm || !cfg.peepholes,
-                "BpttTrainer does not model peephole gradients; "
-                "construct the network with peepholes=false");
+    kernel_.checkTrainable(cfg);
     nlfm_assert(head.inputSize() == cfg.outputSize(),
                 "head width must match network output");
 
@@ -200,7 +186,6 @@ BpttTrainer::forwardCached(const Sequence &inputs, std::size_t label,
     nlfm_assert(steps > 0, "empty training sequence");
     caches.assign(cfg.layers, LayerCache{});
 
-    const bool lstm = cfg.cellType == CellType::Lstm;
     Sequence current = inputs;
 
     for (std::size_t l = 0; l < cfg.layers; ++l) {
@@ -212,67 +197,18 @@ BpttTrainer::forwardCached(const Sequence &inputs, std::size_t label,
         const std::size_t n_gates = cell.gateCount();
         for (std::size_t g = 0; g < n_gates; ++g)
             cache.gate[g].assign(steps, std::vector<float>(hidden, 0.f));
-        if (lstm)
+        if (kernel_.usesCellState())
             cache.c.assign(steps, std::vector<float>(hidden, 0.f));
 
         std::vector<float> h_prev(hidden, 0.f);
         std::vector<float> c_prev(hidden, 0.f);
-        std::vector<float> preact(hidden, 0.f);
 
         for (std::size_t t = 0; t < steps; ++t) {
-            const auto &x = cache.x[t];
-            if (lstm) {
-                for (std::size_t g = 0; g < 4; ++g) {
-                    const GateParams &params = cell.gate(g);
-                    for (std::size_t n = 0; n < hidden; ++n) {
-                        preact[n] = evaluateNeuron(params, n, x, h_prev) +
-                                    params.bias[n];
-                    }
-                    auto &act = cache.gate[g][t];
-                    for (std::size_t n = 0; n < hidden; ++n) {
-                        act[n] = (g == LstmUpdate) ? tanhAct(preact[n])
-                                                   : sigmoid(preact[n]);
-                    }
-                }
-                for (std::size_t n = 0; n < hidden; ++n) {
-                    const float c_t =
-                        cache.gate[LstmForget][t][n] * c_prev[n] +
-                        cache.gate[LstmInput][t][n] *
-                            cache.gate[LstmUpdate][t][n];
-                    cache.c[t][n] = c_t;
-                    cache.aux[t][n] = tanhAct(c_t);
-                    cache.h[t][n] =
-                        cache.gate[LstmOutput][t][n] * cache.aux[t][n];
-                }
-                c_prev = cache.c[t];
-            } else {
-                // GRU: z then r on h_prev, candidate on r.h_prev.
-                for (std::size_t g : {GruUpdate, GruReset}) {
-                    const GateParams &params = cell.gate(g);
-                    auto &act = cache.gate[g][t];
-                    for (std::size_t n = 0; n < hidden; ++n) {
-                        act[n] = sigmoid(
-                            evaluateNeuron(params, n, x, h_prev) +
-                            params.bias[n]);
-                    }
-                }
-                for (std::size_t n = 0; n < hidden; ++n)
-                    cache.aux[t][n] =
-                        cache.gate[GruReset][t][n] * h_prev[n];
-                const GateParams &cand = cell.gate(GruCandidate);
-                auto &g_act = cache.gate[GruCandidate][t];
-                for (std::size_t n = 0; n < hidden; ++n) {
-                    g_act[n] = tanhAct(
-                        evaluateNeuron(cand, n, x, cache.aux[t]) +
-                        cand.bias[n]);
-                }
-                for (std::size_t n = 0; n < hidden; ++n) {
-                    const float z = cache.gate[GruUpdate][t][n];
-                    cache.h[t][n] =
-                        (1.f - z) * h_prev[n] + z * g_act[n];
-                }
-            }
+            kernel_.forwardStep(cell, cache.x[t], h_prev, c_prev, cache,
+                                t);
             h_prev = cache.h[t];
+            if (kernel_.usesCellState())
+                c_prev = cache.c[t];
         }
         current = cache.h;
     }
@@ -293,7 +229,6 @@ BpttTrainer::backward(const std::vector<LayerCache> &caches,
     const RnnConfig &cfg = network_.config();
     const std::size_t hidden = cfg.hiddenSize;
     const std::size_t steps = caches.front().h.size();
-    const bool lstm = cfg.cellType == CellType::Lstm;
 
     // Head gradients; dlogits = probs - onehot(label).
     std::vector<float> dlogits(probs.begin(), probs.end());
@@ -316,6 +251,7 @@ BpttTrainer::backward(const std::vector<LayerCache> &caches,
     for (std::size_t li = cfg.layers; li-- > 0;) {
         const LayerCache &cache = caches[li];
         RnnCell &cell = network_.layer(li).cell(0);
+        const std::size_t n_gates = cell.gateCount();
         const std::size_t x_size = cache.x.front().size();
         Sequence d_x(steps, std::vector<float>(x_size, 0.f));
 
@@ -327,113 +263,48 @@ BpttTrainer::backward(const std::vector<LayerCache> &caches,
 
         for (std::size_t t = steps; t-- > 0;) {
             const auto &x = cache.x[t];
-            const std::vector<float> *h_prev =
-                t > 0 ? &cache.h[t - 1] : nullptr;
 
             std::vector<float> dh(hidden);
             for (std::size_t n = 0; n < hidden; ++n)
                 dh[n] = d_out[t][n] + dh_next[n];
             std::fill(dh_next.begin(), dh_next.end(), 0.f);
 
-            if (lstm) {
-                const auto &i_t = cache.gate[LstmInput][t];
-                const auto &f_t = cache.gate[LstmForget][t];
-                const auto &g_t = cache.gate[LstmUpdate][t];
-                const auto &o_t = cache.gate[LstmOutput][t];
-                const auto &tanh_c = cache.aux[t];
+            // Family math: per-gate pre-activation grads plus the
+            // elementwise/modulated recurrent contributions.
+            kernel_.backwardStep(cell, cache, t, dh, dc_next, dh_next,
+                                 da);
+
+            // Generic scatter: accumulate weight/bias grads and
+            // backpropagate through wx (always) and wh (unless the
+            // kernel already routed that gate's recurrent gradient).
+            for (std::size_t g = 0; g < n_gates; ++g) {
+                const GateParams &params = cell.gate(g);
+                auto wx_grad = params_.grad(gateBlocks_[li][g].wx);
+                auto wh_grad = params_.grad(gateBlocks_[li][g].wh);
+                auto b_grad = params_.grad(gateBlocks_[li][g].bias);
+                const std::vector<float> *rec_in =
+                    kernel_.recurrentOperand(cache, t, g);
                 for (std::size_t n = 0; n < hidden; ++n) {
-                    const float c_prev = t > 0 ? cache.c[t - 1][n] : 0.f;
-                    const float dc =
-                        dh[n] * o_t[n] * tanhGradFromOutput(tanh_c[n]) +
-                        dc_next[n];
-                    da[LstmOutput][n] = dh[n] * tanh_c[n] *
-                                        sigmoidGradFromOutput(o_t[n]);
-                    da[LstmInput][n] =
-                        dc * g_t[n] * sigmoidGradFromOutput(i_t[n]);
-                    da[LstmUpdate][n] =
-                        dc * i_t[n] * tanhGradFromOutput(g_t[n]);
-                    da[LstmForget][n] =
-                        dc * c_prev * sigmoidGradFromOutput(f_t[n]);
-                    dc_next[n] = dc * f_t[n];
-                }
-                for (std::size_t g = 0; g < 4; ++g) {
-                    const GateParams &params = cell.gate(g);
-                    auto wx_grad = params_.grad(gateBlocks_[li][g].wx);
-                    auto wh_grad = params_.grad(gateBlocks_[li][g].wh);
-                    auto b_grad = params_.grad(gateBlocks_[li][g].bias);
-                    for (std::size_t n = 0; n < hidden; ++n) {
-                        const float d = da[g][n];
-                        if (d == 0.f)
-                            continue;
-                        b_grad[n] += d;
-                        float *wx_row = wx_grad.data() + n * x_size;
-                        for (std::size_t j = 0; j < x_size; ++j)
-                            wx_row[j] += d * x[j];
-                        if (h_prev) {
-                            float *wh_row = wh_grad.data() + n * hidden;
-                            for (std::size_t j = 0; j < hidden; ++j)
-                                wh_row[j] += d * (*h_prev)[j];
-                        }
+                    const float d = da[g][n];
+                    if (d == 0.f)
+                        continue;
+                    b_grad[n] += d;
+                    float *wx_row = wx_grad.data() + n * x_size;
+                    for (std::size_t j = 0; j < x_size; ++j)
+                        wx_row[j] += d * x[j];
+                    if (rec_in) {
+                        float *wh_row = wh_grad.data() + n * hidden;
+                        for (std::size_t j = 0; j < hidden; ++j)
+                            wh_row[j] += d * (*rec_in)[j];
                     }
-                    params.wx.matvecTransposeAccum(da[g], d_x[t]);
+                }
+                params.wx.matvecTransposeAccum(da[g], d_x[t]);
+                if (kernel_.backpropRecurrentThroughWh(g))
                     params.wh.matvecTransposeAccum(da[g], dh_next);
-                }
-            } else {
-                const auto &z_t = cache.gate[GruUpdate][t];
-                const auto &r_t = cache.gate[GruReset][t];
-                const auto &g_t = cache.gate[GruCandidate][t];
-                const auto &rh = cache.aux[t];
-                std::vector<float> drh(hidden, 0.f);
-                for (std::size_t n = 0; n < hidden; ++n) {
-                    const float hp = t > 0 ? cache.h[t - 1][n] : 0.f;
-                    da[GruUpdate][n] = dh[n] * (g_t[n] - hp) *
-                                       sigmoidGradFromOutput(z_t[n]);
-                    da[GruCandidate][n] =
-                        dh[n] * z_t[n] * tanhGradFromOutput(g_t[n]);
-                    dh_next[n] += dh[n] * (1.f - z_t[n]);
-                }
-                const GateParams &cand = cell.gate(GruCandidate);
-                cand.wh.matvecTransposeAccum(da[GruCandidate], drh);
-                for (std::size_t n = 0; n < hidden; ++n) {
-                    const float hp = t > 0 ? cache.h[t - 1][n] : 0.f;
-                    dh_next[n] += drh[n] * r_t[n];
-                    da[GruReset][n] =
-                        drh[n] * hp * sigmoidGradFromOutput(r_t[n]);
-                }
-                for (std::size_t g = 0; g < 3; ++g) {
-                    const GateParams &params = cell.gate(g);
-                    auto wx_grad = params_.grad(gateBlocks_[li][g].wx);
-                    auto wh_grad = params_.grad(gateBlocks_[li][g].wh);
-                    auto b_grad = params_.grad(gateBlocks_[li][g].bias);
-                    // Candidate's recurrent operand is r.h_prev.
-                    const std::vector<float> *rec_in = nullptr;
-                    if (g == GruCandidate) {
-                        rec_in = &rh;
-                    } else if (h_prev) {
-                        rec_in = h_prev;
-                    }
-                    for (std::size_t n = 0; n < hidden; ++n) {
-                        const float d = da[g][n];
-                        if (d == 0.f)
-                            continue;
-                        b_grad[n] += d;
-                        float *wx_row = wx_grad.data() + n * x_size;
-                        for (std::size_t j = 0; j < x_size; ++j)
-                            wx_row[j] += d * x[j];
-                        if (rec_in) {
-                            float *wh_row = wh_grad.data() + n * hidden;
-                            for (std::size_t j = 0; j < hidden; ++j)
-                                wh_row[j] += d * (*rec_in)[j];
-                        }
-                    }
-                    params.wx.matvecTransposeAccum(da[g], d_x[t]);
-                    if (g != GruCandidate)
-                        params.wh.matvecTransposeAccum(da[g], dh_next);
-                }
             }
 
-            // dh_next currently holds contributions destined for step
-            // t-1; nothing else to do — the loop continues.
+            // dh_next now holds contributions destined for step t-1;
+            // nothing else to do — the loop continues.
         }
 
         if (li > 0)

@@ -1,13 +1,14 @@
 /**
  * @file
- * BPTT training for small LSTM/GRU sequence classifiers.
+ * BPTT training for small recurrent sequence classifiers.
  *
  * The paper evaluates pretrained networks; our substitution (DESIGN.md §3)
  * trains small models on synthetic tasks so that at least one workload
- * (the IMDB-style sentiment classifier) reports *genuine* task accuracy
- * rather than baseline-drift. The trainer supports unidirectional LSTM
- * (without peepholes) and GRU stacks with a softmax head on the final
- * timestep, optimized with Adam.
+ * per cell family reports *genuine* task accuracy rather than
+ * baseline-drift. The trainer supports unidirectional stacks of any
+ * registered cell family (LSTM without peepholes) with a softmax head
+ * on the final timestep, optimized with Adam; the per-family gradient
+ * math lives in the descriptor-selected kernels of nn/train_kernels.hh.
  */
 
 #ifndef NLFM_NN_TRAIN_HH
@@ -17,7 +18,7 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "nn/rnn_network.hh"
+#include "nn/train_kernels.hh"
 
 namespace nlfm::nn::train
 {
@@ -154,8 +155,6 @@ class BpttTrainer
     ParameterSet &parameters() { return params_; }
 
   private:
-    struct LayerCache;
-
     double forwardCached(const Sequence &inputs, std::size_t label,
                          std::vector<LayerCache> &caches,
                          std::vector<float> &probs);
@@ -165,6 +164,7 @@ class BpttTrainer
     RnnNetwork &network_;
     SoftmaxHead &head_;
     TrainConfig config_;
+    const CellBpttKernel &kernel_; ///< descriptor-selected family math
     ParameterSet params_;
     // Block indices: per layer, per gate: wx, wh, bias; then head W, b.
     struct GateBlocks { std::size_t wx, wh, bias; };

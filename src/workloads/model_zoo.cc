@@ -130,15 +130,95 @@ table1Networks()
     return specs;
 }
 
+const std::vector<NetworkSpec> &
+extendedNetworks()
+{
+    static const std::vector<NetworkSpec> specs = [] {
+        std::vector<NetworkSpec> out;
+
+        {
+            // A leaky-integrator rate network on the speech workload:
+            // the per-neuron time-constant grid gives every layer a
+            // spread of smoothing scales, the regime where temporal
+            // output locality (and hence fuzzy memoization) is
+            // strongest.
+            NetworkSpec spec;
+            spec.name = "RateRNN";
+            spec.domain = "Speech Recognition";
+            spec.dataset = "Synthetic AR frames (registry-era cell)";
+            spec.rnn.cellType = nn::CellType::RateRnn;
+            spec.rnn.inputSize = 64;
+            spec.rnn.hiddenSize = 256;
+            spec.rnn.layers = 2;
+            spec.rnn.bidirectional = false;
+            spec.rnn.peepholes = false;
+            spec.task = TaskKind::SpeechWer;
+            spec.paperAccuracyMetric = "WER";
+            spec.thetaMax = 0.8;
+            spec.defaultSteps = 80;
+            spec.defaultSequences = 4;
+            spec.decodeVocab = 30;
+            spec.inputSmoothness = 0.95; // AR(1) rho
+            spec.initGain = 0.5;
+            spec.weightDispersion = 0.25;
+            spec.decodeSmoothWindow = 3;
+            spec.seed = 15;
+            out.push_back(spec);
+        }
+        {
+            // The bistable cell on the sentiment workload, mirroring
+            // IMDB's topology so LSTM-vs-BRC reuse curves compare like
+            // for like.
+            NetworkSpec spec;
+            spec.name = "BRC";
+            spec.domain = "Sentiment Classification";
+            spec.dataset = "Synthetic tokens (registry-era cell)";
+            spec.rnn.cellType = nn::CellType::Brc;
+            spec.rnn.inputSize = 64;
+            spec.rnn.hiddenSize = 128;
+            spec.rnn.layers = 1;
+            spec.rnn.bidirectional = false;
+            spec.rnn.peepholes = false;
+            spec.task = TaskKind::SentimentAccuracy;
+            spec.paperAccuracyMetric = "Accuracy (%)";
+            spec.thetaMax = 0.8;
+            spec.defaultSteps = 100;
+            spec.defaultSequences = 100;
+            spec.decodeVocab = 2;
+            spec.inputSmoothness = 0.5; // token self-bias
+            spec.initGain = 0.6;
+            spec.forgetBias = 1.0; // BRC update-gate bias
+            spec.weightDispersion = 0.3;
+            spec.decodeSmoothWindow = 0; // mean-pooled head instead
+            spec.seed = 16;
+            out.push_back(spec);
+        }
+        return out;
+    }();
+    return specs;
+}
+
+const std::vector<NetworkSpec> &
+allNetworks()
+{
+    static const std::vector<NetworkSpec> specs = [] {
+        std::vector<NetworkSpec> out = table1Networks();
+        const auto &extended = extendedNetworks();
+        out.insert(out.end(), extended.begin(), extended.end());
+        return out;
+    }();
+    return specs;
+}
+
 const NetworkSpec &
 specByName(const std::string &name)
 {
-    for (const auto &spec : table1Networks()) {
+    for (const auto &spec : allNetworks()) {
         if (spec.name == name)
             return spec;
     }
     nlfm_fatal("unknown network spec: ", name,
-               " (known: IMDB, DeepSpeech2, EESEN, MNMT)");
+               " (known: IMDB, DeepSpeech2, EESEN, MNMT, RateRNN, BRC)");
 }
 
 std::unique_ptr<Workload>

@@ -82,6 +82,17 @@ struct NetworkSpec
 /** The four Table-1 networks. */
 const std::vector<NetworkSpec> &table1Networks();
 
+/**
+ * Registry-era additions beyond Table 1: a leaky rate RNN ("RateRNN")
+ * and a bistable recurrent cell ("BRC") exercising the pluggable cell
+ * layer. The paper never evaluated these, so their paper-comparison
+ * fields are zero.
+ */
+const std::vector<NetworkSpec> &extendedNetworks();
+
+/** Table-1 plus the registry-era additions, in that order. */
+const std::vector<NetworkSpec> &allNetworks();
+
 /** Look up a spec by (case-sensitive) name; fatal when unknown. */
 const NetworkSpec &specByName(const std::string &name);
 

@@ -58,4 +58,45 @@ SentimentTask::sample(std::size_t count, Rng &rng) const
     return examples;
 }
 
+LongMemoryTask::LongMemoryTask(const LongMemoryTaskOptions &options,
+                               std::uint64_t seed)
+    : options_(options)
+{
+    nlfm_assert(options.classes >= 2, "need at least two classes");
+    nlfm_assert(options.vocab >= options.classes + 2,
+                "vocab must hold markers and fillers");
+    nlfm_assert(options.steps >= 2, "need a marker and some filler");
+    Rng rng(seed);
+    embedder_ = std::make_unique<TokenEmbedder>(options.vocab,
+                                                options.embedDim, rng);
+}
+
+std::vector<nn::train::LabeledSequence>
+LongMemoryTask::sample(std::size_t count, Rng &rng) const
+{
+    // Marker ids are 1..classes; fillers are 0 and classes+1..vocab-1.
+    std::vector<nn::train::LabeledSequence> examples;
+    examples.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        const std::size_t label = rng.uniformInt(options_.classes);
+        metrics::TokenSeq tokens(options_.steps);
+        tokens[0] = static_cast<std::int32_t>(label + 1);
+        for (std::size_t t = 1; t < options_.steps; ++t) {
+            std::int32_t filler;
+            do {
+                filler = static_cast<std::int32_t>(
+                    rng.uniformInt(options_.vocab));
+            } while (filler >= 1 &&
+                     filler <= static_cast<std::int32_t>(
+                                   options_.classes));
+            tokens[t] = filler;
+        }
+        nn::train::LabeledSequence example;
+        example.inputs = embedder_->embedSequence(tokens);
+        example.label = label;
+        examples.push_back(std::move(example));
+    }
+    return examples;
+}
+
 } // namespace nlfm::workloads

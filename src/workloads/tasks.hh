@@ -1,13 +1,19 @@
 /**
  * @file
- * Synthetic trainable task: token-polarity sentiment classification.
+ * Synthetic trainable tasks.
  *
- * A stand-in for the IMDB sentiment task (Table 1) that a small LSTM can
- * genuinely *learn*: sequences mix neutral filler tokens with positive
- * and negative marker tokens; the label says which marker occurs more
- * often. Counting over long contexts is the canonical LSTM capability,
- * and a trained classifier lets us report true accuracy loss under
- * memoization rather than baseline drift.
+ * SentimentTask: a stand-in for the IMDB sentiment task (Table 1) that a
+ * small recurrent net can genuinely *learn*: sequences mix neutral
+ * filler tokens with positive and negative marker tokens; the label says
+ * which marker occurs more often. Counting over long contexts is the
+ * canonical LSTM capability — and leaky integration makes it equally
+ * natural for the rate RNN — and a trained classifier lets us report
+ * true accuracy loss under memoization rather than baseline drift.
+ *
+ * LongMemoryTask: the copy-first-input benchmark of Vecoven et al.
+ * (2020) — the class marker appears only at step 0 and must survive a
+ * long run of filler tokens. This is the BRC's headline capability
+ * (cellular bistability latches the early observation).
  */
 
 #ifndef NLFM_WORKLOADS_TASKS_HH
@@ -47,6 +53,38 @@ class SentimentTask
 
   private:
     SentimentTaskOptions options_;
+    std::unique_ptr<TokenEmbedder> embedder_;
+};
+
+/** Long-memory (copy-first-input) task parameters. */
+struct LongMemoryTaskOptions
+{
+    std::size_t vocab = 16;  ///< ids 1..classes are the class markers
+    std::size_t embedDim = 16;
+    std::size_t steps = 30;  ///< marker at step 0, then steps-1 fillers
+    std::size_t classes = 2;
+};
+
+/**
+ * Generator of labeled copy-first-input sequences: token 0 is one of
+ * @p classes marker tokens (the label), every later token is neutral
+ * filler drawn uniformly from the non-marker ids.
+ */
+class LongMemoryTask
+{
+  public:
+    LongMemoryTask(const LongMemoryTaskOptions &options,
+                   std::uint64_t seed);
+
+    const LongMemoryTaskOptions &options() const { return options_; }
+    const TokenEmbedder &embedder() const { return *embedder_; }
+
+    /** Sample @p count labeled, embedded sequences. */
+    std::vector<nn::train::LabeledSequence> sample(std::size_t count,
+                                                   Rng &rng) const;
+
+  private:
+    LongMemoryTaskOptions options_;
     std::unique_ptr<TokenEmbedder> embedder_;
 };
 

@@ -165,7 +165,8 @@ TEST(MatvecPanelTest, MatchesSerialRowKernelBitwise)
 TEST(ForwardBatchTest, BitwiseIdenticalToSerialAcrossTopologies)
 {
     for (const nn::CellType type :
-         {nn::CellType::Lstm, nn::CellType::Gru}) {
+         {nn::CellType::Lstm, nn::CellType::Gru, nn::CellType::RateRnn,
+          nn::CellType::Brc}) {
         for (const bool bidirectional : {false, true}) {
             const nn::RnnConfig config = smallConfig(type, bidirectional);
             const auto network = buildNetwork(config);
@@ -209,7 +210,8 @@ TEST(ForwardBatchTest, ChunkSizeDoesNotChangeResults)
 TEST(BatchMemoTest, OracleThetaZeroReproducesExactOutputs)
 {
     for (const nn::CellType type :
-         {nn::CellType::Lstm, nn::CellType::Gru}) {
+         {nn::CellType::Lstm, nn::CellType::Gru, nn::CellType::RateRnn,
+          nn::CellType::Brc}) {
         const nn::RnnConfig config = smallConfig(type, type ==
                                                            nn::CellType::Lstm);
         const auto network = buildNetwork(config);
@@ -262,6 +264,51 @@ TEST(BatchMemoTest, MatchesSerialEngineOutputsAndStats)
             EXPECT_EQ(stats.gateReuseFraction(gate),
                       serial.stats().gateReuseFraction(gate))
                 << "gate " << gate;
+    }
+}
+
+TEST(BatchMemoTest, NewCellFamiliesMatchSerialEngineOutputsAndStats)
+{
+    // The LSTM/GRU contract extends unchanged to the registry-era
+    // families: the batched engine must reproduce the serial engine's
+    // outputs and per-gate reuse statistics exactly, for both the
+    // oracle and the BNN predictor.
+    for (const nn::CellType type :
+         {nn::CellType::RateRnn, nn::CellType::Brc}) {
+        for (const memo::PredictorKind predictor :
+             {memo::PredictorKind::Oracle, memo::PredictorKind::Bnn}) {
+            const nn::RnnConfig config = smallConfig(type, true);
+            const auto network = buildNetwork(config);
+            nn::BinarizedNetwork bnn(*network);
+            const auto sequences = makeSequences(7, config.inputSize, 33);
+
+            memo::MemoOptions options;
+            options.predictor = predictor;
+            options.theta = 0.08;
+
+            memo::MemoEngine serial(*network, &bnn, options);
+            std::vector<nn::Sequence> serial_outputs;
+            for (const auto &sequence : sequences)
+                serial_outputs.push_back(
+                    network->forward(sequence, serial));
+
+            memo::BatchMemoEngine batched(*network, &bnn, options);
+            const auto batch_outputs =
+                network->forwardBatch(sequences, batched);
+
+            for (std::size_t b = 0; b < sequences.size(); ++b)
+                expectBitwiseEqual(serial_outputs[b], batch_outputs[b],
+                                   b);
+
+            const memo::ReuseStats stats = batched.stats();
+            EXPECT_EQ(stats.totalSlots(), serial.stats().totalSlots());
+            EXPECT_EQ(stats.totalReused(), serial.stats().totalReused());
+            for (std::size_t gate = 0;
+                 gate < network->gateInstances().size(); ++gate)
+                EXPECT_EQ(stats.gateReuseFraction(gate),
+                          serial.stats().gateReuseFraction(gate))
+                    << "gate " << gate;
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "epur/pipeline_sim.hh"
 #include "memo/memo_engine.hh"
+#include "nn/cell_descriptor.hh"
 #include "nn/init.hh"
 #include "nn/quantized.hh"
 #include "nn/serialize.hh"
@@ -62,13 +63,14 @@ tempPath(const std::string &tag)
 
 TEST(SerializeTest, RoundTripPreservesOutputs)
 {
-    for (CellType type : {CellType::Lstm, CellType::Gru}) {
+    for (CellType type : {CellType::Lstm, CellType::Gru,
+                          CellType::RateRnn, CellType::Brc}) {
         RnnNetwork network(smallConfig(type));
         Rng rng(3);
         nn::initNetwork(network, rng);
 
-        const std::string path = tempPath(
-            type == CellType::Lstm ? "lstm" : "gru");
+        const std::string path =
+            tempPath(nn::cellDescriptor(type).cliName);
         nn::saveNetwork(network, path);
         const auto restored = nn::loadNetwork(path);
         std::remove(path.c_str());
@@ -105,6 +107,88 @@ TEST(SerializeTest, RoundTripPreservesEveryParameter)
         EXPECT_EQ(a.bias, b.bias);
         EXPECT_EQ(a.peephole, b.peephole);
     }
+}
+
+/** Byte offsets into the on-disk FileHeader (see nn/serialize.cc). */
+constexpr long kVersionOffset = 8;
+constexpr long kCellTypeOffset = 12;
+
+std::uint32_t
+readHeaderField(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    std::uint32_t value = 0;
+    EXPECT_EQ(std::fread(&value, sizeof(value), 1, f), 1u);
+    std::fclose(f);
+    return value;
+}
+
+void
+patchHeaderField(const std::string &path, long offset, std::uint32_t value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&value, sizeof(value), 1, f), 1u);
+    std::fclose(f);
+}
+
+TEST(SerializeTest, LegacyFamiliesKeepVersionOneStamp)
+{
+    // Pre-registry builds wrote version 1 and only knew LSTM/GRU; their
+    // files must keep loading, and new LSTM/GRU files must stay
+    // byte-compatible with them. Registry-era families are stamped 2.
+    for (CellType type : {CellType::Lstm, CellType::Gru,
+                          CellType::RateRnn, CellType::Brc}) {
+        RnnNetwork network(smallConfig(type));
+        Rng rng(6);
+        nn::initNetwork(network, rng);
+        const std::string path = tempPath("version");
+        nn::saveNetwork(network, path);
+        const std::uint32_t expected =
+            type <= CellType::Gru ? 1u : 2u;
+        EXPECT_EQ(readHeaderField(path, kVersionOffset), expected)
+            << nn::cellTypeName(type);
+        const auto restored = nn::loadNetwork(path);
+        EXPECT_EQ(restored->config().cellType, type);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(SerializeTest, UnknownCellFamilyIdIsFatal)
+{
+    RnnNetwork network(smallConfig());
+    Rng rng(6);
+    nn::initNetwork(network, rng);
+    const std::string path = tempPath("unknown_cell");
+    nn::saveNetwork(network, path);
+    patchHeaderField(path, kCellTypeOffset, 42);
+    EXPECT_DEATH(
+        {
+            auto loaded = nn::loadNetwork(path);
+            (void)loaded;
+        },
+        "unknown cell family id 42.*lstm");
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, VersionOneCannotHoldRegistryEraCells)
+{
+    RnnNetwork network(smallConfig(CellType::RateRnn));
+    Rng rng(6);
+    nn::initNetwork(network, rng);
+    const std::string path = tempPath("v1_raternn");
+    nn::saveNetwork(network, path);
+    patchHeaderField(path, kVersionOffset, 1);
+    EXPECT_DEATH(
+        {
+            auto loaded = nn::loadNetwork(path);
+            (void)loaded;
+        },
+        "corrupt.*RateRNN");
+    std::remove(path.c_str());
 }
 
 TEST(SerializeTest, RejectsGarbageFiles)

@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for activations and the LSTM/GRU cells against
- * hand-evaluated references (paper Eqs. 1-6 and §2.1.3).
+ * Unit tests for activations, the four cell families (LSTM, GRU,
+ * rate RNN, BRC) against hand-evaluated references (paper Eqs. 1-6,
+ * §2.1.3, and the descriptor docs), and the cell-descriptor registry.
  */
 
 #include <gtest/gtest.h>
@@ -11,9 +12,12 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "nn/activations.hh"
+#include "nn/brc_cell.hh"
+#include "nn/cell_descriptor.hh"
 #include "nn/gru_cell.hh"
 #include "nn/init.hh"
 #include "nn/lstm_cell.hh"
+#include "nn/rate_rnn_cell.hh"
 
 namespace nlfm::nn
 {
@@ -129,7 +133,7 @@ TEST(LstmCellTest, MatchesReferenceOverSequence)
         tiny.cell.step(input, state, eval);
         referenceLstmStep(tiny, x, h, c);
         EXPECT_NEAR(state.h[0], h, 1e-5);
-        EXPECT_NEAR(state.c[0], c, 1e-5);
+        EXPECT_NEAR(state.extra[0][0], c, 1e-5);
     }
 }
 
@@ -154,7 +158,7 @@ TEST(LstmCellTest, ZeroWeightsGiveBiasDrivenOutput)
     cell.step(x, state, eval);
     // i = f = o = 0.5, g = 0 -> c = 0, h = 0.
     for (std::size_t n = 0; n < 3; ++n) {
-        EXPECT_FLOAT_EQ(state.c[n], 0.f);
+        EXPECT_FLOAT_EQ(state.extra[0][n], 0.f);
         EXPECT_FLOAT_EQ(state.h[n], 0.f);
     }
 }
@@ -175,22 +179,22 @@ TEST(LstmCellTest, ForgetGateRetainsCellState)
     cell.setInstances(std::move(instances));
 
     CellState state = cell.makeState();
-    state.c[0] = 0.7f;
+    state.extra[0][0] = 0.7f;
     DirectEvaluator eval;
     const std::vector<float> x = {1.f};
     cell.step(x, state, eval);
-    EXPECT_NEAR(state.c[0], 0.7f, 1e-4);
+    EXPECT_NEAR(state.extra[0][0], 0.7f, 1e-4);
 }
 
 TEST(LstmCellTest, StateResetZeroes)
 {
     CellState state;
     state.h = {1.f, 2.f};
-    state.c = {3.f};
+    state.extra = {{3.f}};
     state.reset();
     EXPECT_FLOAT_EQ(state.h[0], 0.f);
     EXPECT_FLOAT_EQ(state.h[1], 0.f);
-    EXPECT_FLOAT_EQ(state.c[0], 0.f);
+    EXPECT_FLOAT_EQ(state.extra[0][0], 0.f);
 }
 
 // ------------------------------------------------------------ GRU cell
@@ -259,7 +263,7 @@ TEST(GruCellTest, NoCellStateAllocated)
     GruCell cell(2, 4);
     const CellState state = cell.makeState();
     EXPECT_EQ(state.h.size(), 4u);
-    EXPECT_TRUE(state.c.empty());
+    EXPECT_TRUE(state.extra.empty());
 }
 
 TEST(GruCellTest, UpdateGateInterpolates)
@@ -281,6 +285,233 @@ TEST(GruCellTest, UpdateGateInterpolates)
     const std::vector<float> x = {5.f};
     cell.step(x, state, eval);
     EXPECT_NEAR(state.h[0], 0.42f, 1e-4);
+}
+
+// ------------------------------------------------------- rate-RNN cell
+
+/** Single-neuron rate RNN with hand-picked weights. */
+struct TinyRateRnn
+{
+    RateRnnCell cell{1, 1};
+
+    TinyRateRnn()
+    {
+        cell.gate(RateDrive).wx.at(0, 0) = 0.8f;
+        cell.gate(RateDrive).wh.at(0, 0) = -0.5f;
+        cell.gate(RateDrive).bias[0] = 0.15f;
+        cell.gate(RateDrive).peephole[0] = 0.35f; // leak a = dt/tau
+        std::vector<GateInstance> instances(1);
+        instances[0].gate = RateDrive;
+        instances[0].neurons = 1;
+        instances[0].xSize = 1;
+        instances[0].hSize = 1;
+        cell.setInstances(std::move(instances));
+    }
+};
+
+void
+referenceRateRnnStep(const TinyRateRnn &tiny, double x, double &r)
+{
+    const auto &gate = tiny.cell.gate(RateDrive);
+    const double drive = std::tanh(gate.wx.at(0, 0) * x +
+                                   gate.wh.at(0, 0) * r + gate.bias[0]);
+    const double a = gate.peephole[0];
+    r = (1.0 - a) * r + a * drive;
+}
+
+TEST(RateRnnCellTest, MatchesReferenceOverSequence)
+{
+    TinyRateRnn tiny;
+    CellState state = tiny.cell.makeState();
+    DirectEvaluator eval;
+
+    double r = 0;
+    const double xs[] = {0.9, -1.4, 0.2, 2.0, -0.6};
+    for (double x : xs) {
+        const std::vector<float> input = {static_cast<float>(x)};
+        tiny.cell.step(input, state, eval);
+        referenceRateRnnStep(tiny, x, r);
+        EXPECT_NEAR(state.h[0], r, 1e-5);
+    }
+}
+
+TEST(RateRnnCellTest, LeakSpansGeometricGrid)
+{
+    RateRnnCell cell(3, 8);
+    const auto &leak = cell.gate(RateDrive).peephole;
+    ASSERT_EQ(leak.size(), 8u);
+    EXPECT_FLOAT_EQ(leak[0], 1.f);
+    EXPECT_NEAR(leak[7], 0.1f, 1e-5);
+    for (std::size_t n = 1; n < 8; ++n)
+        EXPECT_LT(leak[n], leak[n - 1]);
+}
+
+TEST(RateRnnCellTest, UnitLeakIsPureTanhRnn)
+{
+    // a = 1 collapses the Euler update to r_t = tanh(preact): the
+    // single-neuron cell has a = 1.0 by construction.
+    RateRnnCell cell(1, 1);
+    cell.gate(RateDrive).wx.at(0, 0) = 1.f;
+    std::vector<GateInstance> instances(1);
+    instances[0].gate = RateDrive;
+    instances[0].neurons = 1;
+    instances[0].xSize = 1;
+    instances[0].hSize = 1;
+    cell.setInstances(std::move(instances));
+
+    CellState state = cell.makeState();
+    state.h[0] = 0.9f; // must not persist when a = 1
+    DirectEvaluator eval;
+    const std::vector<float> x = {0.5f};
+    cell.step(x, state, eval);
+    EXPECT_NEAR(state.h[0], std::tanh(0.5), 1e-5);
+}
+
+TEST(RateRnnCellTest, NoExtraStateSlots)
+{
+    RateRnnCell cell(2, 4);
+    const CellState state = cell.makeState();
+    EXPECT_EQ(state.h.size(), 4u);
+    EXPECT_TRUE(state.extra.empty());
+}
+
+// ------------------------------------------------------------ BRC cell
+
+/** Single-neuron BRC with hand-picked weights. */
+struct TinyBrc
+{
+    BrcCell cell{1, 1};
+
+    TinyBrc()
+    {
+        const float wx[3] = {0.7f, -0.4f, 1.2f};
+        const float wh[3] = {0.25f, 0.6f, -0.8f};
+        const float bias[3] = {0.1f, -0.15f, 0.3f};
+        for (std::size_t g = 0; g < 3; ++g) {
+            cell.gate(g).wx.at(0, 0) = wx[g];
+            cell.gate(g).wh.at(0, 0) = wh[g];
+            cell.gate(g).bias[0] = bias[g];
+        }
+        std::vector<GateInstance> instances(3);
+        for (std::size_t g = 0; g < 3; ++g) {
+            instances[g].gate = g;
+            instances[g].neurons = 1;
+            instances[g].xSize = 1;
+            instances[g].hSize = 1;
+        }
+        cell.setInstances(std::move(instances));
+    }
+};
+
+void
+referenceBrcStep(const TinyBrc &tiny, double x, double &h)
+{
+    auto wx = [&](std::size_t g) { return tiny.cell.gate(g).wx.at(0, 0); };
+    auto wh = [&](std::size_t g) { return tiny.cell.gate(g).wh.at(0, 0); };
+    auto b = [&](std::size_t g) { return tiny.cell.gate(g).bias[0]; };
+    auto sig = [](double v) { return 1.0 / (1.0 + std::exp(-v)); };
+
+    const double a =
+        1.0 + std::tanh(wx(BrcMod) * x + wh(BrcMod) * h + b(BrcMod));
+    const double c =
+        sig(wx(BrcUpdate) * x + wh(BrcUpdate) * h + b(BrcUpdate));
+    const double g = std::tanh(wx(BrcCandidate) * x +
+                               wh(BrcCandidate) * (a * h) +
+                               b(BrcCandidate));
+    h = c * h + (1.0 - c) * g;
+}
+
+TEST(BrcCellTest, MatchesReferenceOverSequence)
+{
+    TinyBrc tiny;
+    CellState state = tiny.cell.makeState();
+    DirectEvaluator eval;
+
+    double h = 0;
+    const double xs[] = {1.2, -0.7, 0.4, 2.5, -1.8};
+    for (double x : xs) {
+        const std::vector<float> input = {static_cast<float>(x)};
+        tiny.cell.step(input, state, eval);
+        referenceBrcStep(tiny, x, h);
+        EXPECT_NEAR(state.h[0], h, 1e-5);
+    }
+}
+
+TEST(BrcCellTest, UpdateGateRetainsHiddenState)
+{
+    // c ~= 1 must keep h unchanged — BRC's long-memory regime.
+    BrcCell cell(1, 1);
+    cell.gate(BrcUpdate).bias[0] = 100.f;
+    std::vector<GateInstance> instances(3);
+    for (std::size_t g = 0; g < 3; ++g) {
+        instances[g].gate = g;
+        instances[g].neurons = 1;
+        instances[g].xSize = 1;
+        instances[g].hSize = 1;
+    }
+    cell.setInstances(std::move(instances));
+
+    CellState state = cell.makeState();
+    state.h[0] = 0.65f;
+    DirectEvaluator eval;
+    const std::vector<float> x = {1.f};
+    cell.step(x, state, eval);
+    EXPECT_NEAR(state.h[0], 0.65f, 1e-4);
+}
+
+TEST(BrcCellTest, NoExtraStateSlots)
+{
+    BrcCell cell(2, 4);
+    const CellState state = cell.makeState();
+    EXPECT_EQ(state.h.size(), 4u);
+    EXPECT_TRUE(state.extra.empty());
+}
+
+// ------------------------------------------------------ cell registry
+
+TEST(CellDescriptorTest, RegistryMatchesCellObjects)
+{
+    RnnConfig config;
+    config.inputSize = 3;
+    config.hiddenSize = 4;
+    for (const CellType type : {CellType::Lstm, CellType::Gru,
+                                CellType::RateRnn, CellType::Brc}) {
+        config.cellType = type;
+        const CellDescriptor &desc = cellDescriptor(type);
+        EXPECT_EQ(desc.type, type);
+        const auto cell = desc.makeCell(config.inputSize, config);
+        EXPECT_EQ(cell->type(), type);
+        EXPECT_EQ(cell->gateCount(), desc.gates.size());
+        EXPECT_EQ(cell->makeState().extra.size(), desc.extraStateSlots());
+        EXPECT_EQ(gateCount(type), desc.gates.size());
+    }
+}
+
+TEST(CellDescriptorTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(cellTypeName(CellType::Lstm), "LSTM");
+    EXPECT_STREQ(cellTypeName(CellType::RateRnn), "RateRNN");
+    EXPECT_STREQ(cellTypeName(CellType::Brc), "BRC");
+    EXPECT_EQ(cellTypeByName("lstm"), CellType::Lstm);
+    EXPECT_EQ(cellTypeByName("gru"), CellType::Gru);
+    EXPECT_EQ(cellTypeByName("raternn"), CellType::RateRnn);
+    EXPECT_EQ(cellTypeByName("brc"), CellType::Brc);
+    EXPECT_STREQ(gateName(CellType::Lstm, LstmForget), "forget");
+    EXPECT_STREQ(gateName(CellType::RateRnn, RateDrive), "drive");
+    EXPECT_STREQ(gateName(CellType::Brc, BrcCandidate), "candidate");
+}
+
+TEST(CellDescriptorTest, UnknownCliNameDies)
+{
+    EXPECT_DEATH(cellTypeByName("elman"), "unknown cell family");
+}
+
+TEST(CellDescriptorTest, KnownCellIds)
+{
+    EXPECT_TRUE(isKnownCellType(0));
+    EXPECT_TRUE(isKnownCellType(3));
+    EXPECT_FALSE(isKnownCellType(4));
+    EXPECT_NE(knownCellNames().find("raternn"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- init

@@ -1,7 +1,7 @@
 /**
  * @file
- * Trainer tests: numerical gradient checks for the LSTM and GRU BPTT
- * implementations, Adam behaviour, and end-to-end learning on the
+ * Trainer tests: numerical gradient checks for every cell family's
+ * BPTT kernel, Adam behaviour, and end-to-end learning on the
  * synthetic sentiment task.
  */
 
@@ -112,6 +112,26 @@ TEST(GradCheckTest, GruSingleLayer)
 TEST(GradCheckTest, GruTwoLayers)
 {
     gradientCheck(CellType::Gru, 2, 104);
+}
+
+TEST(GradCheckTest, RateRnnSingleLayer)
+{
+    gradientCheck(CellType::RateRnn, 1, 105);
+}
+
+TEST(GradCheckTest, RateRnnTwoLayers)
+{
+    gradientCheck(CellType::RateRnn, 2, 106);
+}
+
+TEST(GradCheckTest, BrcSingleLayer)
+{
+    gradientCheck(CellType::Brc, 1, 107);
+}
+
+TEST(GradCheckTest, BrcTwoLayers)
+{
+    gradientCheck(CellType::Brc, 2, 108);
 }
 
 // -------------------------------------------------------- ParameterSet

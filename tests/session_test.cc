@@ -28,6 +28,7 @@
 #include "memo/memo_batch.hh"
 #include "memo/memo_engine.hh"
 #include "memo/threshold_tuner.hh"
+#include "nn/cell_descriptor.hh"
 #include "nn/init.hh"
 #include "serve/fleet_server.hh"
 #include "serve/server.hh"
@@ -297,6 +298,40 @@ TEST(SessionServingTest, WarmResumeMatchesUninterruptedRequest)
     EXPECT_EQ(server.stats().warmResumed, 2u);
     // The finished session's final snapshot is parked in the store.
     EXPECT_EQ(server.sessionCount(), 1u);
+}
+
+TEST(SessionServingTest, WarmResumeWorksForRegistryEraCells)
+{
+    // The session layer never names a cell family: warm resume on the
+    // registry-era cells (rate RNN, BRC) must be the same bitwise
+    // continuation the LSTM/GRU contract pins, with zero serve-layer
+    // special cases.
+    for (const nn::CellType cell :
+         {nn::CellType::RateRnn, nn::CellType::Brc}) {
+        const nn::RnnConfig config = servingConfig(cell);
+        nn::RnnNetwork network(config);
+        Rng rng(83);
+        nn::initNetwork(network, rng);
+        nn::BinarizedNetwork bnn(network);
+
+        const nn::Sequence full = makeSequence(13, config.inputSize, 84);
+        const auto turns = splitIntoTurns(full, 3);
+
+        serve::ServerOptions options;
+        options.slots = 4;
+        options.memo.predictor = memo::PredictorKind::Bnn;
+        options.memo.theta = 0.08;
+        serve::Server server(network, &bnn, options);
+
+        const auto [served, warm] = serveSession(server, turns, "warm");
+        expectSequenceIdentical(
+            serialReference(network, bnn, full, 0.08), served,
+            std::string(nn::cellTypeName(cell)) + " warm session");
+        ASSERT_EQ(warm.size(), 3u);
+        EXPECT_FALSE(warm[0]);
+        EXPECT_TRUE(warm[1]);
+        EXPECT_TRUE(warm[2]);
+    }
 }
 
 TEST(SessionServingTest, OracleThetaZeroWarmResumeIsExact)

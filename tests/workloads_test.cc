@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "nn/init.hh"
 #include "workloads/evaluators.hh"
 #include "workloads/model_zoo.hh"
 #include "workloads/tasks.hh"
@@ -150,6 +151,110 @@ TEST(SentimentTaskTest, LabelsAreBalancedAndConsistent)
     EXPECT_LT(positive, 280u);
 }
 
+TEST(LongMemoryTaskTest, MarkerOnlyAtStepZeroAndLabelsBalanced)
+{
+    LongMemoryTaskOptions options;
+    options.steps = 12;
+    LongMemoryTask task(options, 81);
+    Rng rng(82);
+    const auto examples = task.sample(300, rng);
+    ASSERT_EQ(examples.size(), 300u);
+    std::size_t class_one = 0;
+    for (const auto &example : examples) {
+        EXPECT_EQ(example.inputs.size(), options.steps);
+        EXPECT_EQ(example.inputs[0].size(), options.embedDim);
+        EXPECT_LT(example.label, options.classes);
+        class_one += example.label;
+        // The marker embedding at step 0 determines the label; every
+        // later step embeds a filler token, so no two examples with
+        // different labels may share their step-0 embedding.
+        const auto marker =
+            task.embedder().embed(static_cast<std::int32_t>(
+                example.label + 1));
+        for (std::size_t d = 0; d < options.embedDim; ++d)
+            EXPECT_FLOAT_EQ(example.inputs[0][d], marker[d]);
+    }
+    EXPECT_GT(class_one, 100u);
+    EXPECT_LT(class_one, 200u);
+}
+
+// --------------------------------------------- trained registry cells
+
+/** Train @p config on @p train_set and return test-set accuracy. */
+double
+trainAndScore(nn::RnnConfig config,
+              const std::vector<nn::train::LabeledSequence> &train_set,
+              const std::vector<nn::train::LabeledSequence> &test_set,
+              std::size_t classes, int epochs, std::uint64_t seed)
+{
+    nn::RnnNetwork network(config);
+    Rng rng(seed);
+    nn::initNetwork(network, rng);
+    nn::train::SoftmaxHead head(config.outputSize(), classes, rng);
+    nn::train::TrainConfig tc;
+    tc.adam.lr = 1e-2;
+    nn::train::BpttTrainer trainer(network, head, tc);
+
+    const std::size_t batch = 32;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        for (std::size_t i = 0; i + batch <= train_set.size();
+             i += batch) {
+            trainer.trainBatch(
+                std::span<const nn::train::LabeledSequence>(
+                    train_set.data() + i, batch));
+        }
+    }
+    nn::DirectEvaluator direct;
+    return trainer.evaluateAccuracy(test_set, direct);
+}
+
+TEST(TrainedCellsTest, RateRnnLearnsSentimentCounting)
+{
+    // Marker counting is leaky integration — the rate cell's native
+    // mode — so the accuracy floor matches the LSTM's in
+    // nn_train_test.cc.
+    SentimentTaskOptions task_options;
+    task_options.steps = 16;
+    SentimentTask task(task_options, 91);
+    Rng data_rng(92);
+    const auto train_set = task.sample(256, data_rng);
+    const auto test_set = task.sample(128, data_rng);
+
+    nn::RnnConfig config;
+    config.cellType = nn::CellType::RateRnn;
+    config.inputSize = task_options.embedDim;
+    config.hiddenSize = 16;
+    config.layers = 1;
+    config.bidirectional = false;
+    config.peepholes = false;
+    const double accuracy = trainAndScore(config, train_set, test_set,
+                                          2, 6, 93);
+    EXPECT_GT(accuracy, 0.85);
+}
+
+TEST(TrainedCellsTest, BrcLearnsLongMemoryRecall)
+{
+    // Copy-first-input: the class marker at step 0 must survive 19
+    // filler steps — the bistable cell's headline capability.
+    LongMemoryTaskOptions task_options;
+    task_options.steps = 20;
+    LongMemoryTask task(task_options, 94);
+    Rng data_rng(95);
+    const auto train_set = task.sample(256, data_rng);
+    const auto test_set = task.sample(128, data_rng);
+
+    nn::RnnConfig config;
+    config.cellType = nn::CellType::Brc;
+    config.inputSize = task_options.embedDim;
+    config.hiddenSize = 16;
+    config.layers = 1;
+    config.bidirectional = false;
+    config.peepholes = false;
+    const double accuracy = trainAndScore(config, train_set, test_set,
+                                          task_options.classes, 6, 96);
+    EXPECT_GT(accuracy, 0.9); // chance is 0.5
+}
+
 // ------------------------------------------------------------ the zoo
 
 TEST(ModelZooTest, HasTheFourTable1Networks)
@@ -187,6 +292,53 @@ TEST(ModelZooTest, Table1Topologies)
     EXPECT_EQ(mnmt.rnn.layers, 8u);
     EXPECT_EQ(mnmt.rnn.hiddenSize, 1024u);
     EXPECT_EQ(mnmt.task, TaskKind::TranslationBleu);
+}
+
+TEST(ModelZooTest, ExtendedNetworksJoinTheRegistry)
+{
+    const auto &extended = extendedNetworks();
+    ASSERT_EQ(extended.size(), 2u);
+    EXPECT_EQ(extended[0].name, "RateRNN");
+    EXPECT_EQ(extended[1].name, "BRC");
+    // Table 1 stays untouched; allNetworks appends the additions.
+    const auto &all = allNetworks();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[3].name, "MNMT");
+    EXPECT_EQ(all[4].name, "RateRNN");
+    EXPECT_EQ(all[5].name, "BRC");
+
+    const auto &rate = specByName("RateRNN");
+    EXPECT_EQ(rate.rnn.cellType, nn::CellType::RateRnn);
+    EXPECT_EQ(rate.rnn.hiddenSize, 256u);
+    EXPECT_EQ(rate.rnn.layers, 2u);
+    EXPECT_EQ(rate.task, TaskKind::SpeechWer);
+    EXPECT_DOUBLE_EQ(rate.thetaMax, 0.8);
+
+    const auto &brc = specByName("BRC");
+    EXPECT_EQ(brc.rnn.cellType, nn::CellType::Brc);
+    EXPECT_EQ(brc.rnn.hiddenSize, 128u);
+    EXPECT_EQ(brc.task, TaskKind::SentimentAccuracy);
+    EXPECT_DOUBLE_EQ(brc.thetaMax, 0.8);
+}
+
+TEST(ModelZooTest, BuildsExtendedWorkloads)
+{
+    // Shrink for speed; exercises the full build path (decode head,
+    // input splits, and for BRC the sentiment margin filter) on the
+    // registry-era cells.
+    NetworkSpec rate = specByName("RateRNN");
+    rate.rnn.hiddenSize = 24;
+    const auto rate_workload = buildWorkload(rate, /*steps=*/10,
+                                             /*sequences=*/2);
+    EXPECT_EQ(rate_workload->testInputs.size(), 2u);
+    EXPECT_EQ(rate_workload->decodeHead.cols(), rate.rnn.outputSize());
+
+    NetworkSpec brc = specByName("BRC");
+    brc.rnn.hiddenSize = 24;
+    const auto brc_workload = buildWorkload(brc, /*steps=*/10,
+                                            /*sequences=*/4);
+    EXPECT_EQ(brc_workload->testInputs.size(), 4u);
+    EXPECT_EQ(brc_workload->decodeHead.rows(), 2u);
 }
 
 TEST(ModelZooTest, BuildWorkloadShapes)
